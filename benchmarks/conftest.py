@@ -1,0 +1,90 @@
+"""Shared fixtures for the paper-reproduction benchmarks.
+
+Each benchmark regenerates one paper table or figure and prints the same
+rows/series the paper reports, alongside the paper's values where they
+are stated.  Expensive inputs (traces, datasets, trained prediction
+simulators) are session-scoped.
+
+Scale: the prediction benchmarks (Figs. 5-8) run the full 51,663-host
+population by default, like the paper.  The packet-level benchmarks
+(Figs. 9-10) are scaled down (see DESIGN.md §3); set the environment
+variable ``SEAWEED_BENCH_SCALE=large`` for bigger runs.
+"""
+
+from __future__ import annotations
+
+import os
+
+import numpy as np
+import pytest
+
+from repro.harness.prediction import PredictionSimulator
+from repro.traces.farsite import generate_farsite_trace
+from repro.workload.anemone import AnemoneDataset, AnemoneParams
+
+#: "small" keeps packet-level runs to a couple of minutes; "large"
+#: quadruples populations and durations.
+BENCH_SCALE = os.environ.get("SEAWEED_BENCH_SCALE", "small")
+
+#: Population for the prediction benchmarks: the paper's full Farsite
+#: population by default (a prediction run takes seconds even at 51,663;
+#: availability-model training dominates at a few seconds per injection
+#: time).  Override with SEAWEED_PREDICTION_POP.
+PREDICTION_POPULATION = int(os.environ.get("SEAWEED_PREDICTION_POP", "51663"))
+
+
+def overhead_scale() -> dict:
+    """Per-scale parameters for the packet-level benchmarks."""
+    if BENCH_SCALE == "large":
+        return {
+            "base_population": 800,
+            "duration": 12 * 3600.0,
+            "scaling_populations": (200, 400, 800),
+            "id_seeds": (11, 22, 33, 44, 55),
+        }
+    return {
+        "base_population": 250,
+        "duration": 5 * 3600.0,
+        "scaling_populations": (80, 160, 320),
+        "id_seeds": (11, 22, 33),
+    }
+
+
+@pytest.fixture(scope="session")
+def farsite_trace():
+    """A Farsite-like 5-week trace for the prediction experiments."""
+    return generate_farsite_trace(
+        PREDICTION_POPULATION,
+        horizon=35 * 86400.0,
+        rng=np.random.default_rng(101),
+    )
+
+
+@pytest.fixture(scope="session")
+def anemone_dataset():
+    """The Anemone profile pool (456 host profiles, as in the capture)."""
+    return AnemoneDataset(
+        num_profiles=456,
+        params=AnemoneParams(flows_per_day=60.0, days=21.0),
+        rng=np.random.default_rng(102),
+    )
+
+
+@pytest.fixture(scope="session")
+def prediction_simulator(farsite_trace, anemone_dataset):
+    """The simplified simulator shared by the Fig. 5-8 benchmarks."""
+    return PredictionSimulator(
+        farsite_trace,
+        anemone_dataset,
+        rng=np.random.default_rng(103),
+    )
+
+
+#: Injection anchor: Tuesday 00:00 of the third trace week — mirroring
+#: the paper's "Tuesday 20th July 1999 at 00:00" after a 2-week warmup.
+INJECT_ANCHOR = 15 * 86400.0
+
+
+@pytest.fixture(scope="session")
+def inject_anchor():
+    return INJECT_ANCHOR

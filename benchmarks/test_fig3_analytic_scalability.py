@@ -1,0 +1,97 @@
+"""Figure 3: analytic scalability of the four architectures.
+
+Four panels sweep network size (N), update rate (u), database size (d),
+and churn rate (c) under the Table 1 defaults, comparing the system-wide
+maintenance bandwidth of Centralized, Seaweed, DHT-replicated, and PIER
+(5 min and 1 hour refresh).  The paper's headline shape: Seaweed is ~10x
+below centralized at the Anemone update rate and 1000x+ below the
+data-replication designs.
+"""
+
+import numpy as np
+
+from repro.analysis.models import (
+    centralized_overhead,
+    centralized_seaweed_crossover,
+    dht_replicated_overhead,
+    logspace_sweep,
+    pier_overhead,
+    seaweed_overhead,
+    sweep,
+)
+from repro.analysis.parameters import TABLE1
+from repro.harness.reporting import format_series
+
+
+def run_all_panels():
+    return {
+        "N": sweep(TABLE1, "N", logspace_sweep(1e3, 1e7, 9)),
+        "u": sweep(TABLE1, "u", logspace_sweep(1e0, 1e5, 11)),
+        "d": sweep(TABLE1, "d", logspace_sweep(1e6, 1e11, 11)),
+        "c": sweep(TABLE1, "c", logspace_sweep(1e-7, 1e-2, 11)),
+    }
+
+
+def test_fig3_analytic_scalability(benchmark):
+    panels = benchmark.pedantic(run_all_panels, rounds=1, iterations=1)
+
+    sweeps = {
+        "N": logspace_sweep(1e3, 1e7, 9),
+        "u": logspace_sweep(1e0, 1e5, 11),
+        "d": logspace_sweep(1e6, 1e11, 11),
+        "c": logspace_sweep(1e-7, 1e-2, 11),
+    }
+    print()
+    for panel, series in panels.items():
+        print(
+            format_series(
+                panel,
+                sweeps[panel],
+                series,
+                title=f"Fig 3({'abcd'['Nudc'.index(panel)]}) — overhead (bytes/s) vs {panel}",
+            )
+        )
+        print()
+
+    # --- Shape assertions -------------------------------------------------
+    base = TABLE1
+
+    # (a) All designs scale linearly in N: doubling N doubles overhead.
+    for model in (centralized_overhead, seaweed_overhead, pier_overhead):
+        ratio = model(base.with_overrides(num_endsystems=2e5)) / model(
+            base.with_overrides(num_endsystems=1e5)
+        )
+        assert ratio == np.float64(2.0)
+
+    # At Table 1 defaults: Seaweed ~10x below centralized, and orders of
+    # magnitude below DHT-replicated and PIER (paper §4.2.5).
+    seaweed = seaweed_overhead(base)
+    assert centralized_overhead(base) / seaweed > 5
+    assert dht_replicated_overhead(base) / seaweed > 100
+    assert pier_overhead(base) / seaweed > 1000
+
+    # (b) Seaweed's overhead is independent of u; centralized is linear in
+    # u and crosses Seaweed at low update rates.
+    low_u = base.with_overrides(update_rate=1.0)
+    assert seaweed_overhead(low_u) == seaweed
+    assert centralized_overhead(low_u) < seaweed_overhead(low_u)
+    crossover = centralized_seaweed_crossover(base)
+    assert 1.0 < crossover < 970.0  # paper: Seaweed already wins at 970 B/s
+    print(f"centralized/seaweed crossover at u = {crossover:.1f} bytes/s")
+
+    # (c) Seaweed and centralized are independent of d; PIER and
+    # DHT-replicated are linear in d.
+    big_d = base.with_overrides(database_size=base.database_size * 10)
+    assert seaweed_overhead(big_d) == seaweed
+    assert pier_overhead(big_d) == np.float64(10.0) * pier_overhead(base)
+    assert dht_replicated_overhead(big_d) > 5 * dht_replicated_overhead(base)
+
+    # (d) PIER and centralized are churn-independent; DHT-replication is
+    # ~linear in c; Seaweed's churn term only matters at very high churn.
+    high_c = base.with_overrides(churn_rate=1e-2)
+    assert pier_overhead(high_c) == pier_overhead(base)
+    assert dht_replicated_overhead(high_c) > 100 * dht_replicated_overhead(base)
+    assert seaweed_overhead(high_c) > seaweed_overhead(base)
+    modest_c = base.with_overrides(churn_rate=1e-5)
+    # At modest churn the push term dominates: < 2x the baseline.
+    assert seaweed_overhead(modest_c) < 2 * seaweed

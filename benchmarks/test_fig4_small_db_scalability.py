@@ -1,0 +1,60 @@
+"""Figure 4: scalability with a small database and low update rate.
+
+Same analysis as Figure 3 but with d = 100 MB and u = 10 bytes/s.  The
+paper's observations: a small database favours PIER over the other
+distributed designs, and a small update rate makes the centralized
+approach the cheapest of all.
+"""
+
+from repro.analysis.models import (
+    centralized_overhead,
+    dht_replicated_overhead,
+    logspace_sweep,
+    pier_overhead,
+    seaweed_overhead,
+    sweep,
+)
+from repro.analysis.parameters import SMALL_DB
+from repro.harness.reporting import format_series
+
+
+def test_fig4_small_db_low_update_rate(benchmark):
+    values = logspace_sweep(1e3, 1e7, 9)
+    panels = benchmark.pedantic(
+        sweep, args=(SMALL_DB, "N", values), rounds=1, iterations=1
+    )
+
+    print()
+    print(
+        format_series(
+            "N",
+            values,
+            panels,
+            title="Fig 4 — overhead (bytes/s) vs N, d=100 MB, u=10 B/s",
+        )
+    )
+
+    # Centralized is the cheapest at these low update rates (paper §4.2.5).
+    assert centralized_overhead(SMALL_DB) < seaweed_overhead(SMALL_DB)
+    assert centralized_overhead(SMALL_DB) < pier_overhead(SMALL_DB)
+    assert centralized_overhead(SMALL_DB) < dht_replicated_overhead(SMALL_DB)
+
+    # A small database improves PIER's relative position dramatically:
+    # with the Table 1 database PIER is ~1000x above Seaweed; at 100 MB
+    # the gap shrinks by the d ratio (2.6 GB / 100 MB = 26x).
+    from repro.analysis.parameters import TABLE1
+
+    gap_large = pier_overhead(TABLE1) / seaweed_overhead(TABLE1)
+    gap_small = pier_overhead(SMALL_DB) / seaweed_overhead(SMALL_DB)
+    assert gap_small < gap_large / 20
+
+    # PIER (1 hour refresh) closes most of its gap to *Seaweed* at the
+    # small database size (paper: "a small database favors PIER") — the
+    # gap to DHT-replication stays roughly constant because both designs
+    # are linear in d in the churn-dominated regime.
+    pier_hourly_small = pier_overhead(SMALL_DB.with_overrides(pier_refresh_rate=1 / 3600.0))
+    pier_hourly_large = pier_overhead(TABLE1.with_overrides(pier_refresh_rate=1 / 3600.0))
+    gap_small = pier_hourly_small / seaweed_overhead(SMALL_DB)
+    gap_large = pier_hourly_large / seaweed_overhead(TABLE1)
+    assert gap_small < gap_large / 10
+    assert pier_hourly_small < 30 * dht_replicated_overhead(SMALL_DB)

@@ -1,0 +1,17 @@
+"""Figure 5: SELECT SUM(Bytes) FROM Flow WHERE SrcPort = 80.
+
+Total HTTP traffic in the network: predicted vs actual completeness,
+error across weekdays, and error across injection times.
+"""
+
+from benchmarks.prediction_common import run_figure
+from repro.workload.queries import QUERY_HTTP_BYTES
+
+
+def test_fig5_http_traffic(prediction_simulator, inject_anchor, benchmark):
+    benchmark.pedantic(
+        run_figure,
+        args=(prediction_simulator, "Fig 5", QUERY_HTTP_BYTES, inject_anchor),
+        rounds=1,
+        iterations=1,
+    )

@@ -1,0 +1,16 @@
+"""Figure 6: SELECT COUNT(*) FROM Flow WHERE Bytes > 20000.
+
+The number of flows with significant amounts of traffic.
+"""
+
+from benchmarks.prediction_common import run_figure
+from repro.workload.queries import QUERY_LARGE_FLOWS
+
+
+def test_fig6_large_flows(prediction_simulator, inject_anchor, benchmark):
+    benchmark.pedantic(
+        run_figure,
+        args=(prediction_simulator, "Fig 6", QUERY_LARGE_FLOWS, inject_anchor),
+        rounds=1,
+        iterations=1,
+    )

@@ -1,0 +1,17 @@
+"""Figure 7: SELECT AVG(Bytes) FROM Flow WHERE App = 'SMB'.
+
+Average per-flow SMB traffic; the selection is on a categorical column,
+exercising the frequency-histogram estimation path.
+"""
+
+from benchmarks.prediction_common import run_figure
+from repro.workload.queries import QUERY_SMB_AVG
+
+
+def test_fig7_smb_traffic(prediction_simulator, inject_anchor, benchmark):
+    benchmark.pedantic(
+        run_figure,
+        args=(prediction_simulator, "Fig 7", QUERY_SMB_AVG, inject_anchor),
+        rounds=1,
+        iterations=1,
+    )

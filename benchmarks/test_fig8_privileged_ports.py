@@ -1,0 +1,21 @@
+"""Figure 8: SELECT SUM(Packets) FROM Flow WHERE LocalPort < 1024.
+
+Packets on privileged ports; a one-sided range predicate.
+"""
+
+from benchmarks.prediction_common import run_figure
+from repro.workload.queries import QUERY_PRIVILEGED_PACKETS
+
+
+def test_fig8_privileged_ports(prediction_simulator, inject_anchor, benchmark):
+    benchmark.pedantic(
+        run_figure,
+        args=(
+            prediction_simulator,
+            "Fig 8",
+            QUERY_PRIVILEGED_PACKETS,
+            inject_anchor,
+        ),
+        rounds=1,
+        iterations=1,
+    )

@@ -1,0 +1,59 @@
+"""§1.3 — the distributed-index decision, quantified.
+
+Not a numbered figure, but an evaluation the paper reports performing:
+"We evaluated the benefits of maintaining distributed indexes for these
+applications and concluded that they do not justify the resulting
+overheads and complexity."  This benchmark prints the break-even query
+rate between broadcast dissemination and a maintained distributed index
+and asserts the paper's conclusion for human-operator workloads.
+"""
+
+import numpy as np
+
+from repro.analysis.indexes import (
+    IndexParameters,
+    breakeven_query_rate,
+    total_bandwidth,
+)
+from repro.analysis.parameters import TABLE1
+from repro.harness.reporting import format_bytes_rate, format_table
+
+
+def test_index_breakeven(benchmark):
+    crossover = benchmark.pedantic(breakeven_query_rate, rounds=1, iterations=1)
+
+    rates = [1 / 3600.0, 10 / 3600.0, 1.0, crossover, 10 * crossover]
+    labels = ["1 query/h", "10 queries/h", "1 query/s", "break-even", "10x break-even"]
+    rows = []
+    for label, rate in zip(labels, rates):
+        rows.append(
+            (
+                label,
+                f"{rate:.3g}",
+                format_bytes_rate(total_bandwidth(rate, "broadcast")),
+                format_bytes_rate(total_bandwidth(rate, "index")),
+            )
+        )
+    print()
+    print(
+        format_table(
+            ["workload", "queries/s", "broadcast", "distributed index"],
+            rows,
+            title="§1.3 — broadcast vs distributed index (Table 1 parameters)",
+        )
+    )
+    print(f"break-even query rate: {crossover:.2f}/s ({crossover * 3600:,.0f}/hour)")
+
+    # The paper's conclusion: for a small number of human users issuing
+    # one-shot queries, broadcast wins by orders of magnitude.
+    human = 10 / 3600.0
+    assert total_bandwidth(human, "broadcast") < 0.01 * total_bandwidth(human, "index")
+    # And the crossover sits far above any human workload.
+    assert crossover > 360 * human
+
+    # Sensitivity: a much more selective workload lowers the crossover
+    # (indexes help exactly when queries touch few endsystems).
+    selective = breakeven_query_rate(
+        index=IndexParameters(selectivity_fraction=0.01)
+    )
+    assert selective < crossover

@@ -1,0 +1,69 @@
+"""Table 2: expected tuple availability in PIER.
+
+PIER's refresh-based freshness means tuple availability decays as
+e^(-ct) after the source's last refresh.  The paper tabulates this for
+the Farsite and Gnutella churn rates at 5 min / 1 hour / 12 hours; our
+churn rates additionally come out of the calibrated trace generators.
+"""
+
+import numpy as np
+import pytest
+
+from repro.analysis.pier import PAPER_TABLE2, TABLE2_AGES, pier_availability, table2
+from repro.harness.reporting import format_table
+from repro.traces.gnutella import generate_gnutella_trace
+
+
+def test_table2_pier_availability(benchmark):
+    results = benchmark.pedantic(table2, rounds=1, iterations=1)
+
+    headers = ["environment", "5 min", "1 hour", "12 hours", "paper"]
+    rows = []
+    for environment, values in results.items():
+        rows.append(
+            (
+                environment,
+                f"{values[0]:.3f}",
+                f"{values[1]:.3f}",
+                f"{values[2]:.3f}",
+                "/".join(f"{p:.3f}" for p in PAPER_TABLE2[environment]),
+            )
+        )
+    print()
+    print(format_table(headers, rows, title="Table 2 — PIER expected availability"))
+
+    # The Gnutella rows match e^(-ct) at c = 9.46e-5 almost exactly; the
+    # paper's Farsite 12-hour entry (78.9%) implies c ~= 5.5e-6 rather
+    # than the stated 6.9e-6 (e^(-6.9e-6 * 43200) = 74.2%), so the wider
+    # tolerance absorbs that internal inconsistency of the paper.
+    for environment in ("Farsite", "Gnutella"):
+        for measured, paper in zip(results[environment], PAPER_TABLE2[environment]):
+            assert measured == pytest.approx(paper, abs=0.05)
+
+
+def test_table2_with_generated_gnutella_churn():
+    """The decay at the *measured* churn of our Gnutella-like generator."""
+    trace = generate_gnutella_trace(1200, rng=np.random.default_rng(5))
+    churn = trace.departure_rate()
+    values = [pier_availability(churn, age) for age in TABLE2_AGES]
+    print()
+    print(
+        format_table(
+            ["age", "availability"],
+            [
+                (f"{age/60:.0f} min", f"{value:.3f}")
+                for age, value in zip(TABLE2_AGES, values)
+            ],
+            title=f"Table 2 — decay at generated Gnutella churn ({churn:.2e}/s)",
+        )
+    )
+    # Paper: 12 hours of Gnutella churn leaves ~1.8% of tuples available.
+    assert values[-1] < 0.10
+    assert values[0] > 0.9
+
+
+def test_decay_is_exponential():
+    assert pier_availability(1e-4, 0.0) == 1.0
+    halved_twice = pier_availability(1e-4, 2 * 6931.0)
+    halved_once = pier_availability(1e-4, 6931.0)
+    assert halved_twice == pytest.approx(halved_once**2, rel=1e-6)

@@ -1,0 +1,69 @@
+#!/usr/bin/env python3
+"""Capacity planning with the analytic models (paper §4.2).
+
+An architect sizing a query infrastructure for their environment plugs
+their own parameters into the four closed-form cost models and sees
+which design fits — reproducing the reasoning behind Figures 3 and 4,
+but for *their* numbers.
+
+Run with:  python examples/capacity_planning.py
+"""
+
+from repro.analysis import (
+    TABLE1,
+    centralized_overhead,
+    centralized_seaweed_crossover,
+    dht_replicated_overhead,
+    pier_overhead,
+    seaweed_overhead,
+)
+from repro.harness.reporting import format_bytes_rate, format_table
+
+#: Three environments an architect might be sizing for.
+ENVIRONMENTS = {
+    "data centre (10k servers, chatty)": TABLE1.with_overrides(
+        num_endsystems=10_000,
+        fraction_online=0.99,
+        churn_rate=1e-7,
+        update_rate=5_000.0,
+        database_size=50e9,
+    ),
+    "enterprise (300k desktops)": TABLE1,
+    "internet (5M consumer machines)": TABLE1.with_overrides(
+        num_endsystems=5e6,
+        fraction_online=0.35,
+        churn_rate=9.46e-5,  # Gnutella-grade churn
+        update_rate=50.0,
+        database_size=500e6,
+    ),
+}
+
+
+def main() -> None:
+    for name, params in ENVIRONMENTS.items():
+        rows = [
+            ("centralized", format_bytes_rate(centralized_overhead(params))),
+            ("seaweed", format_bytes_rate(seaweed_overhead(params))),
+            ("dht-replicated", format_bytes_rate(dht_replicated_overhead(params))),
+            ("pier (5 min refresh)", format_bytes_rate(pier_overhead(params))),
+            (
+                "pier (1 h refresh)",
+                format_bytes_rate(
+                    pier_overhead(params.with_overrides(pier_refresh_rate=1 / 3600.0))
+                ),
+            ),
+        ]
+        print(format_table(["design", "maintenance bandwidth"], rows, title=name))
+        crossover = centralized_seaweed_crossover(params)
+        winner = (
+            "seaweed" if params.update_rate > crossover else "centralized"
+        )
+        print(
+            f"  centralized/seaweed crossover at u = {crossover:.1f} B/s per "
+            f"endsystem; at u = {params.update_rate:.0f} B/s the cheaper "
+            f"scalable design is: {winner}\n"
+        )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,20 @@
+"""Seaweed: delay-aware querying with completeness prediction.
+
+A from-scratch reproduction of "Delay Aware Querying with Seaweed"
+(Narayanan, Donnelly, Mortier, Rowstron — VLDB Journal 2006).
+
+Subpackages:
+
+* :mod:`repro.sim` — deterministic discrete-event simulator.
+* :mod:`repro.net` — network topology, transport, bandwidth accounting.
+* :mod:`repro.overlay` — Pastry-style structured overlay (MSPastry semantics).
+* :mod:`repro.db` — per-endsystem relational engine with histograms.
+* :mod:`repro.traces` — endsystem availability traces (Farsite/Gnutella-like).
+* :mod:`repro.workload` — the Anemone network-management dataset and queries.
+* :mod:`repro.core` — the Seaweed system itself: metadata replication,
+  query dissemination, completeness prediction, result aggregation.
+* :mod:`repro.analysis` — the paper's analytic scalability models.
+* :mod:`repro.harness` — experiment runners for every paper table/figure.
+"""
+
+__version__ = "1.0.0"

@@ -1,0 +1,56 @@
+"""Analytic scalability models (paper §4.2: Table 1, Eqs. 1-4, Table 2)."""
+
+from repro.analysis.indexes import (
+    IndexParameters,
+    breakeven_query_rate,
+    broadcast_query_cost,
+    index_maintenance_cost,
+    index_query_cost,
+)
+from repro.analysis.models import (
+    MODELS,
+    SWEEP_ATTRIBUTES,
+    centralized_overhead,
+    centralized_seaweed_crossover,
+    dht_replicated_overhead,
+    logspace_sweep,
+    pier_overhead,
+    seaweed_overhead,
+    sweep,
+)
+from repro.analysis.parameters import (
+    GNUTELLA_CHURN,
+    PIER_HOURLY_REFRESH,
+    SMALL_DB,
+    TABLE1,
+    ModelParameters,
+    table1_rows,
+)
+from repro.analysis.pier import PAPER_TABLE2, TABLE2_AGES, pier_availability, table2
+
+__all__ = [
+    "GNUTELLA_CHURN",
+    "IndexParameters",
+    "breakeven_query_rate",
+    "broadcast_query_cost",
+    "index_maintenance_cost",
+    "index_query_cost",
+    "MODELS",
+    "ModelParameters",
+    "PAPER_TABLE2",
+    "PIER_HOURLY_REFRESH",
+    "SMALL_DB",
+    "SWEEP_ATTRIBUTES",
+    "TABLE1",
+    "TABLE2_AGES",
+    "centralized_overhead",
+    "centralized_seaweed_crossover",
+    "dht_replicated_overhead",
+    "logspace_sweep",
+    "pier_availability",
+    "pier_overhead",
+    "seaweed_overhead",
+    "sweep",
+    "table1_rows",
+    "table2",
+]

@@ -1,0 +1,83 @@
+"""Model parameters (paper Table 1).
+
+The analytic comparison of §4.2 is driven by parameters measured from
+real systems: network size from the Microsoft corporate network,
+availability from the Farsite study, data rates and sizes from Anemone,
+and Seaweed/PIER protocol constants.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+
+@dataclass(frozen=True)
+class ModelParameters:
+    """The paper's Table 1, as a value object.
+
+    Attributes mirror the table's variables; units are bytes and seconds.
+    """
+
+    #: N — number of endsystems (Microsoft CorpNet).
+    num_endsystems: float = 300_000.0
+    #: f_on — fraction of available endsystems (Farsite).
+    fraction_online: float = 0.81
+    #: c — churn rate per endsystem per second (Farsite).
+    churn_rate: float = 6.9e-6
+    #: u — data update rate per endsystem, bytes/s (Anemone).
+    update_rate: float = 970.0
+    #: d — database size per endsystem, bytes (Anemone; 2.6 GB).
+    database_size: float = 2.6e9
+    #: k — number of metadata/data replicas stored (Farsite-informed).
+    replicas: float = 4.0
+    #: h — size of the data summary, bytes (Seaweed/Anemone; 5 histograms).
+    summary_size: float = 6_473.0
+    #: a — size of the availability model, bytes (Seaweed).
+    availability_model_size: float = 48.0
+    #: p — summary push rate per second.  Table 1 *states* 0.033/s (a
+    #: 30 s period), but that value contradicts the paper's own Figure 3
+    #: (at u = 970 B/s Seaweed plots ~10x below centralized, impossible
+    #: with k*p*h = 863 B/s per endsystem) and its simulation setup
+    #: (§4.3: pushes every 17.5 min).  We default to the simulation's
+    #: effective rate, which reproduces the figures' shapes.
+    push_rate: float = 1.0 / (17.5 * 60.0)
+    #: r — PIER data refresh rate per second (5 min period by default).
+    pier_refresh_rate: float = 1.0 / 300.0
+
+    def with_overrides(self, **overrides: float) -> "ModelParameters":
+        """A copy with some parameters replaced (for sweeps)."""
+        return replace(self, **overrides)
+
+
+#: The default Table 1 parameter set.
+TABLE1 = ModelParameters()
+
+#: PIER's less aggressive configuration: 1 hour refresh period.
+PIER_HOURLY_REFRESH = 1.0 / 3600.0
+
+#: Fig. 4's "small database, low update rate" variant.
+SMALL_DB = TABLE1.with_overrides(database_size=100e6, update_rate=10.0)
+
+#: Gnutella churn rate (Table 2, from the Saroiu et al. traces).
+GNUTELLA_CHURN = 9.46e-5
+
+
+def table1_rows() -> list[tuple[str, str, str, str]]:
+    """The rows of Table 1 as (variable, description, value, source)."""
+    return [
+        ("N", "Number of endsystems", "300,000", "Microsoft CorpNet"),
+        ("f_on", "Fraction of available endsystems", "0.81", "Farsite"),
+        ("c", "Churn rate", "6.9e-06 /s", "Farsite"),
+        ("u", "Data update rate per endsystem", "970 bytes/s", "Anemone"),
+        ("d", "Database size per endsystem", "2.6 GB", "Anemone"),
+        ("k", "Number of replicas stored", "4", "Farsite"),
+        ("h", "Size of data summary", "6,473 bytes", "Seaweed/Anemone"),
+        ("a", "Size of availability model", "48 bytes", "Seaweed"),
+        ("p", "Summary push rate", "0.033 /s", "Seaweed (30 s period)"),
+        (
+            "r",
+            "PIER data refresh rate",
+            "0.0033 /s or 0.00028 /s",
+            "PIER (5 mins or 1 hr period)",
+        ),
+    ]

@@ -1,0 +1,45 @@
+"""PIER availability decay (paper Table 2).
+
+PIER avoids churn-driven re-replication by periodically re-inserting
+data, but pays in availability: tuples inserted by a source are lost for
+querying when the responsible root changes, until the source's next
+refresh.  For churn rate ``c``, the expected fraction of a source's
+tuples still available ``t`` seconds after its last refresh decays as
+``e^(-c t)``.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.analysis.parameters import GNUTELLA_CHURN, TABLE1
+
+#: The refresh ages reported in Table 2 (5 min, 1 hour, 12 hours).
+TABLE2_AGES = (300.0, 3600.0, 12 * 3600.0)
+
+
+def pier_availability(churn_rate: float, age: float) -> float:
+    """Expected fraction of tuples available ``age`` seconds after refresh."""
+    if age < 0:
+        raise ValueError("age must be non-negative")
+    return math.exp(-churn_rate * age)
+
+
+def table2(
+    farsite_churn: float = TABLE1.churn_rate,
+    gnutella_churn: float = GNUTELLA_CHURN,
+    ages: tuple[float, ...] = TABLE2_AGES,
+) -> dict[str, list[float]]:
+    """Regenerate Table 2: availability per environment per refresh age."""
+    return {
+        "Farsite": [pier_availability(farsite_churn, age) for age in ages],
+        "Gnutella": [pier_availability(gnutella_churn, age) for age in ages],
+    }
+
+
+#: The values printed in the paper's Table 2, for comparison in tests
+#: and in EXPERIMENTS.md: {environment: (5 min, 1 hour, 12 hours)}.
+PAPER_TABLE2 = {
+    "Farsite": (0.998, 0.980, 0.789),
+    "Gnutella": (0.973, 0.716, 0.018),
+}

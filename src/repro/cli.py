@@ -1,0 +1,208 @@
+"""Command-line interface: run Seaweed experiments without writing code.
+
+Subcommands::
+
+    seaweed-repro models  [--N --u --d --c ...]   analytic cost comparison
+    seaweed-repro trace   [--kind --population]   trace statistics (Fig 1)
+    seaweed-repro predict [--sql --population]    completeness prediction
+    seaweed-repro run     [--population --hours]  packet-level deployment
+
+Every subcommand prints plain-text tables via the reporting helpers and
+is driven by explicit seeds, so runs are reproducible.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+import numpy as np
+
+
+def _cmd_models(args: argparse.Namespace) -> int:
+    from repro.analysis import (
+        TABLE1,
+        centralized_overhead,
+        centralized_seaweed_crossover,
+        dht_replicated_overhead,
+        pier_overhead,
+        seaweed_overhead,
+    )
+    from repro.harness.reporting import format_bytes_rate, format_table
+
+    params = TABLE1.with_overrides(
+        num_endsystems=args.N,
+        update_rate=args.u,
+        database_size=args.d,
+        churn_rate=args.c,
+        fraction_online=args.f_on,
+    )
+    rows = [
+        ("centralized", format_bytes_rate(centralized_overhead(params))),
+        ("seaweed", format_bytes_rate(seaweed_overhead(params))),
+        ("dht-replicated", format_bytes_rate(dht_replicated_overhead(params))),
+        ("pier (5 min)", format_bytes_rate(pier_overhead(params))),
+        (
+            "pier (1 h)",
+            format_bytes_rate(
+                pier_overhead(params.with_overrides(pier_refresh_rate=1 / 3600.0))
+            ),
+        ),
+    ]
+    print(format_table(["design", "maintenance bandwidth"], rows,
+                       title="Analytic maintenance overhead (paper Eqs. 1-4)"))
+    print(
+        f"centralized/seaweed crossover: u = "
+        f"{centralized_seaweed_crossover(params):.1f} bytes/s per endsystem"
+    )
+    return 0
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    from repro.harness.overhead import build_trace
+    from repro.harness.reporting import format_table
+    from repro.harness.trace_stats import compute_trace_statistics
+
+    trace = build_trace(args.kind, args.population, args.days * 86400.0, args.seed)
+    stats = compute_trace_statistics(trace, sample_days=min(7.0, args.days))
+    rows = [
+        ("population", stats.population),
+        ("horizon (days)", f"{stats.horizon_days:.1f}"),
+        ("mean availability", f"{stats.mean_availability:.3f}"),
+        ("departure rate /online-es/s", f"{stats.departure_rate:.2e}"),
+        ("churn rate /es/s", f"{stats.churn_rate:.2e}"),
+        ("diurnal swing", f"{stats.diurnal_amplitude:.2f}"),
+    ]
+    print(format_table(["metric", "value"], rows,
+                       title=f"{args.kind} trace statistics (Fig 1 / Table 1)"))
+    return 0
+
+
+def _cmd_predict(args: argparse.Namespace) -> int:
+    from repro.harness.prediction import PredictionSimulator
+    from repro.harness.reporting import format_table
+    from repro.traces.farsite import generate_farsite_trace
+    from repro.workload.anemone import AnemoneDataset
+
+    print(f"generating trace ({args.population} endsystems) and dataset...")
+    trace = generate_farsite_trace(
+        args.population, horizon=35 * 86400.0, rng=np.random.default_rng(args.seed)
+    )
+    dataset = AnemoneDataset(
+        num_profiles=args.profiles, rng=np.random.default_rng(args.seed + 1)
+    )
+    simulator = PredictionSimulator(
+        trace, dataset, rng=np.random.default_rng(args.seed + 2)
+    )
+    inject = args.inject_day * 86400.0 + args.inject_hour * 3600.0
+    outcome = simulator.run(args.sql, inject)
+    rows = []
+    for index, delay in enumerate(outcome.checkpoints):
+        label = "immediate" if delay == 0 else f"+{delay / 3600.0:g} h"
+        rows.append(
+            (
+                label,
+                f"{outcome.predicted[index]:,.0f}",
+                f"{outcome.actual[index]:,.0f}",
+                f"{outcome.prediction_error()[index]:+.2f}%",
+            )
+        )
+    print(format_table(["delay", "predicted", "actual", "error"], rows,
+                       title=f"Completeness prediction: {args.sql}"))
+    print(
+        f"available at injection: {outcome.available_fraction:.1%}   "
+        f"total-count error: {outcome.total_count_error():+.3f}%"
+    )
+    return 0
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    from repro.harness.overhead import run_overhead_experiment
+    from repro.harness.reporting import format_table
+    from repro.net.stats import (
+        CATEGORY_MAINTENANCE,
+        CATEGORY_OVERLAY,
+        CATEGORY_QUERY,
+    )
+
+    print(
+        f"running packet-level deployment: {args.population} endsystems, "
+        f"{args.hours:.1f} h, {args.kind} trace..."
+    )
+    result = run_overhead_experiment(
+        num_endsystems=args.population,
+        trace_kind=args.kind,
+        duration=args.hours * 3600.0,
+        seed=args.seed,
+        query_sql=args.sql,
+    )
+    rows = [
+        ("MSPastry", f"{result.tx_by_category[CATEGORY_OVERLAY]:.1f}"),
+        ("Seaweed maintenance", f"{result.tx_by_category[CATEGORY_MAINTENANCE]:.1f}"),
+        ("Seaweed query", f"{result.tx_by_category[CATEGORY_QUERY]:.2f}"),
+        ("total", f"{result.mean_tx:.1f}"),
+        ("p99 endsystem-hour", f"{result.tx_percentile(99):.1f}"),
+    ]
+    print(format_table(["component", "tx bytes/s per online es"], rows,
+                       title="Overhead breakdown (cf. Fig 9a)"))
+    print(f"predictor latency: {result.predictor_latency}")
+    print(f"completeness samples: {result.completeness}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The CLI argument parser (exposed for tests)."""
+    parser = argparse.ArgumentParser(
+        prog="seaweed-repro",
+        description="Seaweed (VLDB 2006) reproduction experiments",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    models = sub.add_parser("models", help="analytic cost models (Figs 3-4)")
+    models.add_argument("--N", type=float, default=300_000)
+    models.add_argument("--u", type=float, default=970.0)
+    models.add_argument("--d", type=float, default=2.6e9)
+    models.add_argument("--c", type=float, default=6.9e-6)
+    models.add_argument("--f-on", dest="f_on", type=float, default=0.81)
+    models.set_defaults(func=_cmd_models)
+
+    trace = sub.add_parser("trace", help="trace statistics (Fig 1)")
+    trace.add_argument("--kind", choices=("farsite", "gnutella"), default="farsite")
+    trace.add_argument("--population", type=int, default=5000)
+    trace.add_argument("--days", type=float, default=14.0)
+    trace.add_argument("--seed", type=int, default=0)
+    trace.set_defaults(func=_cmd_trace)
+
+    predict = sub.add_parser("predict", help="completeness prediction (Figs 5-8)")
+    predict.add_argument(
+        "--sql", default="SELECT SUM(Bytes) FROM Flow WHERE SrcPort = 80"
+    )
+    predict.add_argument("--population", type=int, default=8000)
+    predict.add_argument("--profiles", type=int, default=120)
+    predict.add_argument("--inject-day", type=int, default=15)
+    predict.add_argument("--inject-hour", type=float, default=0.0)
+    predict.add_argument("--seed", type=int, default=0)
+    predict.set_defaults(func=_cmd_predict)
+
+    run = sub.add_parser("run", help="packet-level deployment (Figs 9-10)")
+    run.add_argument("--population", type=int, default=200)
+    run.add_argument("--hours", type=float, default=4.0)
+    run.add_argument("--kind", choices=("farsite", "gnutella"), default="farsite")
+    run.add_argument(
+        "--sql", default="SELECT SUM(Bytes) FROM Flow WHERE SrcPort = 80"
+    )
+    run.add_argument("--seed", type=int, default=0)
+    run.set_defaults(func=_cmd_run)
+
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

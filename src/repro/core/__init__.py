@@ -1,0 +1,55 @@
+"""Seaweed core: the paper's primary contribution.
+
+Metadata replication (availability models + data summaries), query
+dissemination with completeness prediction, failure-resilient in-network
+result aggregation, and the :class:`SeaweedSystem` deployment facade.
+"""
+
+from repro.core.aggregation import (
+    ResultAggregator,
+    VertexState,
+    leaf_vertex,
+    parent_vertex,
+    vertex_chain,
+)
+from repro.core.availability_model import (
+    AVAILABILITY_MODEL_BYTES,
+    AvailabilityModel,
+    AvailabilityPrediction,
+)
+from repro.core.config import SeaweedConfig
+from repro.core.dissemination import Disseminator
+from repro.core.metadata import EndsystemMetadata, MetadataRecord, MetadataStore
+from repro.core.node import SeaweedNode
+from repro.core.predictor import CompletenessPredictor, PredictorConfig, log_bucket_edges
+from repro.core.query import DEFAULT_LIFETIME, QueryDescriptor, QueryStatus
+from repro.core.system import SeaweedSystem
+from repro.core.views import ViewResult, ViewSpec, materialize_views, normalize_sql
+
+__all__ = [
+    "AVAILABILITY_MODEL_BYTES",
+    "AvailabilityModel",
+    "AvailabilityPrediction",
+    "CompletenessPredictor",
+    "DEFAULT_LIFETIME",
+    "Disseminator",
+    "EndsystemMetadata",
+    "MetadataRecord",
+    "MetadataStore",
+    "PredictorConfig",
+    "QueryDescriptor",
+    "QueryStatus",
+    "ResultAggregator",
+    "SeaweedConfig",
+    "SeaweedNode",
+    "SeaweedSystem",
+    "VertexState",
+    "ViewResult",
+    "ViewSpec",
+    "leaf_vertex",
+    "log_bucket_edges",
+    "materialize_views",
+    "normalize_sql",
+    "parent_vertex",
+    "vertex_chain",
+]

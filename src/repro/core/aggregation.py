@@ -1,0 +1,531 @@
+"""The result aggregation tree (paper §3.4).
+
+Results are aggregated up a tree embedded in the Pastry namespace, unique
+per queryId.  Tree vertices are namespace keys (*vertexIds*); the parent
+of a vertex is computed by the deterministic function ``V``::
+
+    V(queryId, vertexId) = PREFIX(vertexId, 128/b - (len+1))
+                         + SUFFIX(queryId, len+1)
+
+where ``len`` is the length of the match between queryId and vertexId at
+the suffix end: each application replaces one more low-order digit of the
+vertexId with the queryId's, so repeated application converges to the
+queryId itself (the root) while keeping a vertex's high-order digits —
+and therefore its namespace position — close to its subtree's leaves.
+That locality is what makes the paper's leaf optimization work: an
+endsystem keeps applying ``V`` to its own id while it is still the
+numerically closest node to the result, and submits to the first vertex
+it does not own, giving a tree with N leaves and O(log N) depth.
+
+Each interior vertex is a replica group: the primary (the live node
+closest to the vertexId) holds the per-child result list, replicates it
+to m backups before acknowledging, and forwards a new aggregate upward
+when children change.  Contributions are keyed and versioned, so
+retransmissions and primary failovers never double-count — the
+exactly-once property of §2.3.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Callable, Optional
+
+from repro.core.query import QueryDescriptor
+from repro.db.aggregates import AggregateState
+from repro.db.executor import QueryResult
+from repro.overlay.ids import common_suffix_len, replace_suffix
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.core.node import SeaweedNode
+
+KIND_RESULT_SUBMIT = "SW_RESULT_SUBMIT"
+KIND_RESULT_ACK = "SW_RESULT_ACK"
+KIND_VERTEX_REPL = "SW_VERTEX_REPL"
+
+MAX_VERTEX_LEVELS = 64  # loop guard; the chain length is bounded by 128/b
+
+
+def parent_vertex(query_id: int, vertex_id: int, b: int = 4) -> int:
+    """One application of the paper's ``V``: the parent of ``vertex_id``.
+
+    Raises ValueError at the root (``vertex_id == query_id``), which has
+    no parent.
+    """
+    if vertex_id == query_id:
+        raise ValueError("the root vertex (queryId) has no parent")
+    matched = common_suffix_len(query_id, vertex_id, b)
+    return replace_suffix(vertex_id, query_id, matched + 1, b)
+
+
+def vertex_chain(query_id: int, start_id: int, b: int = 4) -> list[int]:
+    """The full chain of vertexIds from ``start_id`` up to the root."""
+    chain = [start_id]
+    current = start_id
+    while current != query_id:
+        current = parent_vertex(query_id, current, b)
+        chain.append(current)
+        if len(chain) > MAX_VERTEX_LEVELS:
+            raise RuntimeError("vertex chain failed to converge")
+    return chain
+
+
+def leaf_vertex(
+    query_id: int, own_id: int, is_closest: Callable[[int], bool], b: int = 4
+) -> int:
+    """The vertex an endsystem submits its result to (leaf optimization).
+
+    Applies ``V`` starting from the endsystem's own id until it produces a
+    vertexId the endsystem is *not* the numerically closest node to.
+    Returns the queryId itself if the endsystem owns the whole chain
+    (i.e. it is the root).
+    """
+    current = own_id
+    for _ in range(MAX_VERTEX_LEVELS):
+        if current == query_id:
+            return current
+        current = parent_vertex(query_id, current, b)
+        if not is_closest(current):
+            return current
+    raise RuntimeError("vertex chain failed to converge")
+
+
+def result_to_payload(result: QueryResult) -> dict:
+    """Serialize a query result for transmission."""
+    return {
+        "specs": [(spec.func, spec.column) for spec in result.specs],
+        "states": [state.to_tuple() for state in result.states],
+        "rows": list(result.rows),
+        "row_count": result.row_count,
+        "groups": {
+            key: [state.to_tuple() for state in states]
+            for key, states in result.groups.items()
+        },
+    }
+
+
+def result_from_payload(payload: dict) -> QueryResult:
+    """Inverse of :func:`result_to_payload`."""
+    from repro.db.aggregates import AggregateSpec
+
+    return QueryResult(
+        specs=[AggregateSpec(func, column) for func, column in payload["specs"]],
+        states=[AggregateState.from_tuple(data) for data in payload["states"]],
+        rows=[tuple(row) for row in payload["rows"]],
+        row_count=payload["row_count"],
+        groups={
+            key: [AggregateState.from_tuple(data) for data in states]
+            for key, states in payload.get("groups", {}).items()
+        },
+    )
+
+
+@dataclass
+class VertexState:
+    """A primary's (or backup's) state for one tree vertex."""
+
+    query_id: int
+    vertex_id: int
+    #: {contributor key: (version, result payload)} — contributor keys are
+    #: endsystem ids for leaf submissions and child vertexIds for interior.
+    children: dict[int, tuple[int, dict]] = field(default_factory=dict)
+    #: Version counter for this vertex's own upward submissions.
+    up_version: int = 0
+    #: Whether an upward forward is pending (coalescing flag).
+    forward_scheduled: bool = False
+
+    def update_child(self, contributor: int, version: int, payload: dict) -> bool:
+        """Install a child result if newer.  Returns True if state changed."""
+        existing = self.children.get(contributor)
+        if existing is not None and existing[0] >= version:
+            return False
+        self.children[contributor] = (version, payload)
+        return True
+
+    def merged_result(self) -> Optional[QueryResult]:
+        """Fold all child results into one (exactly-once by construction)."""
+        merged: Optional[QueryResult] = None
+        for _, payload in self.children.values():
+            result = result_from_payload(payload)
+            merged = result if merged is None else merged.merge(result)
+        return merged
+
+    def wire_size(self) -> int:
+        """Approximate replication payload size."""
+        size = 32
+        for _, payload in self.children.values():
+            size += 16 + 8 * len(payload["states"]) * 4 + 32 * len(payload["rows"])
+        return size
+
+
+@dataclass
+class PendingSubmission:
+    """An unacknowledged upward submission, retransmitted until acked."""
+
+    vertex_id: int
+    contributor: int
+    version: int
+    payload: dict
+    descriptor: QueryDescriptor
+
+
+class ResultAggregator:
+    """The result-tree protocol engine living inside one Seaweed node."""
+
+    def __init__(self, node: "SeaweedNode") -> None:
+        self.node = node
+        #: States where this node believes it is the primary.
+        self._vertices: dict[tuple[int, int], VertexState] = {}
+        #: Replicated states held as a backup: {(query, vertex): (primary, state)}.
+        self._backups: dict[tuple[int, int], tuple[int, VertexState]] = {}
+        #: Unacked submissions keyed by (query, vertex, contributor).
+        self._pending: dict[tuple[int, int, int], PendingSubmission] = {}
+        #: The leaf vertex chosen per query — persisted so re-submissions
+        #: (after rejoin or repair) always target the SAME vertex, which
+        #: is what makes contributions exactly-once (paper: "persists
+        #: that vertexId with the query").
+        self._leaf_targets: dict[int, int] = {}
+        #: Monotone version per query for this endsystem's own leaf
+        #: submissions; newer versions overwrite at the vertex, which is
+        #: how continuous queries refresh their contribution.
+        self._leaf_versions: dict[int, int] = {}
+        self._retransmit_timer = None
+
+    # ------------------------------------------------------------------
+    # Leaf path
+    # ------------------------------------------------------------------
+
+    def submit_local_result(
+        self, descriptor: QueryDescriptor, result: QueryResult
+    ) -> None:
+        """Submit this endsystem's own result into the tree."""
+        b = self.node.config.overlay.b
+        target = self._leaf_targets.get(descriptor.query_id)
+        if target is None:
+            target = leaf_vertex(
+                descriptor.query_id,
+                self.node.node_id,
+                self.node.pastry.is_closest_to,
+                b=b,
+            )
+            self._leaf_targets[descriptor.query_id] = target
+        payload = result_to_payload(result)
+        version = self._leaf_versions.get(descriptor.query_id, 0) + 1
+        self._leaf_versions[descriptor.query_id] = version
+        if target == descriptor.query_id and self.node.pastry.is_closest_to(target):
+            # We are the root: feed our contribution into the root vertex.
+            self._apply_submission(
+                descriptor, target, self.node.node_id, version, payload
+            )
+            return
+        self._send_submission(descriptor, target, self.node.node_id, version, payload)
+
+    def _send_submission(
+        self,
+        descriptor: QueryDescriptor,
+        vertex_id: int,
+        contributor: int,
+        version: int,
+        payload: dict,
+    ) -> None:
+        key = (descriptor.query_id, vertex_id, contributor)
+        self._pending[key] = PendingSubmission(
+            vertex_id, contributor, version, payload, descriptor
+        )
+        self._transmit(descriptor, vertex_id, contributor, version, payload)
+        self._ensure_retransmit_timer()
+
+    def _transmit(
+        self,
+        descriptor: QueryDescriptor,
+        vertex_id: int,
+        contributor: int,
+        version: int,
+        payload: dict,
+    ) -> None:
+        message = {
+            "descriptor": descriptor.to_payload(),
+            "vertex_id": vertex_id,
+            "contributor": contributor,
+            "submitter": self.node.node_id,
+            "version": version,
+            "result": payload,
+        }
+        size = 64 + len(descriptor.sql) + 8 * len(payload["states"]) * 4
+        self.node.pastry.route(
+            vertex_id, KIND_RESULT_SUBMIT, message, size, category="query"
+        )
+
+    def _ensure_retransmit_timer(self) -> None:
+        if self._retransmit_timer is None or self._retransmit_timer.cancelled:
+            self._retransmit_timer = self.node.sim.schedule_periodic(
+                self.node.config.result_retransmit, self._retransmit_sweep
+            )
+
+    def _retransmit_sweep(self) -> None:
+        if not self.node.pastry.online:
+            return
+        now = self.node.sim.now
+        expired = []
+        for key, pending in self._pending.items():
+            if now > pending.descriptor.expires_at:
+                expired.append(key)
+                continue
+            self._transmit(
+                pending.descriptor,
+                pending.vertex_id,
+                pending.contributor,
+                pending.version,
+                pending.payload,
+            )
+        for key in expired:
+            del self._pending[key]
+        if not self._pending and self._retransmit_timer is not None:
+            self._retransmit_timer.cancel()
+            self._retransmit_timer = None
+
+    # ------------------------------------------------------------------
+    # Primary path
+    # ------------------------------------------------------------------
+
+    def on_submit(self, payload: dict) -> None:
+        """Handle a routed RESULT_SUBMIT delivered to this node."""
+        descriptor = QueryDescriptor.from_payload(payload["descriptor"])
+        vertex_id = payload["vertex_id"]
+        if self.node.sim.now > descriptor.expires_at:
+            return
+        if not self.node.pastry.is_closest_to(vertex_id):
+            # Stale routing: push it onward; the overlay will converge.
+            self.node.pastry.route(
+                vertex_id,
+                KIND_RESULT_SUBMIT,
+                payload,
+                64 + len(descriptor.sql),
+                category="query",
+            )
+            return
+        self._apply_submission(
+            descriptor,
+            vertex_id,
+            payload["contributor"],
+            payload["version"],
+            payload["result"],
+        )
+        # Acknowledge to the submitting node (direct send by id).
+        ack = {
+            "query_id": descriptor.query_id,
+            "vertex_id": vertex_id,
+            "contributor": payload["contributor"],
+            "version": payload["version"],
+        }
+        self.node.send_app(payload["submitter"], KIND_RESULT_ACK, ack, 48)
+
+    def _apply_submission(
+        self,
+        descriptor: QueryDescriptor,
+        vertex_id: int,
+        contributor: int,
+        version: int,
+        result_payload: dict,
+    ) -> None:
+        key = (descriptor.query_id, vertex_id)
+        state = self._vertices.get(key)
+        if state is None:
+            # Adopt any backup state we hold for this vertex (failover).
+            backed = self._backups.pop(key, None)
+            state = backed[1] if backed is not None else VertexState(
+                descriptor.query_id, vertex_id
+            )
+            self._vertices[key] = state
+        changed = state.update_child(contributor, version, result_payload)
+        if not changed:
+            return
+        self._replicate(descriptor, state)
+        self._after_state_change(descriptor, key)
+
+    def _forward_up(self, descriptor: QueryDescriptor, key: tuple[int, int]) -> None:
+        state = self._vertices.get(key)
+        if state is None or not self.node.pastry.online:
+            return
+        state.forward_scheduled = False
+        merged = state.merged_result()
+        if merged is None:
+            return
+        state.up_version += 1
+        parent = parent_vertex(
+            descriptor.query_id, state.vertex_id, self.node.config.overlay.b
+        )
+        self._send_submission(
+            descriptor,
+            parent,
+            state.vertex_id,
+            state.up_version,
+            result_to_payload(merged),
+        )
+
+    def _replicate(self, descriptor: QueryDescriptor, state: VertexState) -> None:
+        """Replicate vertex state to the m closest leafset members."""
+        backups = self.node.pastry.replica_set(self.node.config.vertex_backups)
+        payload = {
+            "descriptor": descriptor.to_payload(),
+            "vertex_id": state.vertex_id,
+            "primary": self.node.node_id,
+            "up_version": state.up_version,
+            "children": {
+                str(contributor): (version, result)
+                for contributor, (version, result) in state.children.items()
+            },
+        }
+        size = state.wire_size() + len(descriptor.sql)
+        for backup in backups:
+            self.node.send_app(backup, KIND_VERTEX_REPL, payload, size)
+
+    def on_ack(self, payload: dict) -> None:
+        """Handle a RESULT_ACK: stop retransmitting that submission."""
+        key = (payload["query_id"], payload["vertex_id"], payload["contributor"])
+        self._pending.pop(key, None)
+
+    def on_replicate(self, payload: dict) -> None:
+        """Handle a VERTEX_REPL: adopt as primary or store as backup.
+
+        If we are now the node closest to the vertexId (e.g. the old
+        primary is handing the group over after our join), we take over
+        as primary; otherwise we hold the state as a backup for failover.
+        """
+        descriptor = QueryDescriptor.from_payload(payload["descriptor"])
+        vertex_id = payload["vertex_id"]
+        state = VertexState(descriptor.query_id, vertex_id)
+        state.up_version = payload.get("up_version", 0)
+        state.children = {
+            int(contributor): (version, result)
+            for contributor, (version, result) in payload["children"].items()
+        }
+        key = (descriptor.query_id, vertex_id)
+        self.node.remember_query(descriptor)
+        if key in self._vertices:
+            # We were (or believe we are) the primary; merge children.
+            existing = self._vertices[key]
+            existing.up_version = max(existing.up_version, state.up_version)
+            changed = False
+            for contributor, (version, result) in state.children.items():
+                if existing.update_child(contributor, version, result):
+                    changed = True
+            if changed:
+                self._after_state_change(descriptor, key)
+            return
+        if self.node.pastry.is_closest_to(vertex_id) and payload["primary"] != self.node.node_id:
+            self._vertices[key] = state
+            self._after_state_change(descriptor, key)
+            return
+        self._backups[key] = (payload["primary"], state)
+
+    def _after_state_change(
+        self, descriptor: QueryDescriptor, key: tuple[int, int]
+    ) -> None:
+        """Propagate a state change: root update or scheduled upward forward."""
+        state = self._vertices[key]
+        if state.vertex_id == descriptor.query_id:
+            merged = state.merged_result()
+            if merged is not None:
+                self.node.on_root_result(descriptor, merged)
+            return
+        if not state.forward_scheduled:
+            state.forward_scheduled = True
+            self.node.sim.schedule(
+                self.node.config.vertex_forward_delay,
+                self._forward_up,
+                descriptor,
+                key,
+            )
+
+    def on_leafset_change(self) -> None:
+        """Hand over any vertex group whose closest node is no longer us.
+
+        The paper keeps the invariant that the primary is always the node
+        with the id closest to the vertexId; when a join inserts a closer
+        node, the old primary transfers its state to it.
+        """
+        for key, state in list(self._vertices.items()):
+            if self.node.pastry.is_closest_to(state.vertex_id):
+                continue
+            descriptor = self.node.known_query(key[0])
+            if descriptor is None:
+                del self._vertices[key]
+                continue
+            new_primary = self.node.pastry.leafset.closest(
+                state.vertex_id, include_owner=False
+            )
+            payload = {
+                "descriptor": descriptor.to_payload(),
+                "vertex_id": state.vertex_id,
+                "primary": new_primary,
+                "up_version": state.up_version,
+                "children": {
+                    str(contributor): (version, result)
+                    for contributor, (version, result) in state.children.items()
+                },
+            }
+            self.node.send_app(
+                new_primary,
+                KIND_VERTEX_REPL,
+                payload,
+                state.wire_size() + len(descriptor.sql),
+            )
+            # Demote ourselves to backup for the group.
+            del self._vertices[key]
+            self._backups[key] = (new_primary, state)
+
+    def on_neighbour_failed(self, dead_id: int) -> None:
+        """Promote backup states whose primary died and we now own."""
+        for key, (primary, state) in list(self._backups.items()):
+            if primary != dead_id:
+                continue
+            if not self.node.pastry.is_closest_to(state.vertex_id):
+                continue
+            descriptor = self.node.known_query(key[0])
+            if descriptor is None or self.node.sim.now > descriptor.expires_at:
+                del self._backups[key]
+                continue
+            del self._backups[key]
+            self._vertices[key] = state
+            self._replicate(descriptor, state)
+            self._after_state_change(descriptor, key)
+
+    def expire(self, now: float) -> None:
+        """Drop state belonging to expired queries."""
+        for table in (self._vertices, self._backups):
+            stale = [
+                key
+                for key in table
+                if (descriptor := self.node.known_query(key[0])) is not None
+                and now > descriptor.expires_at
+            ]
+            for key in stale:
+                del table[key]
+
+    # ------------------------------------------------------------------
+    # Introspection (tests)
+    # ------------------------------------------------------------------
+
+    @property
+    def vertex_count(self) -> int:
+        """Number of vertices this node is currently primary for."""
+        return len(self._vertices)
+
+    @property
+    def backup_count(self) -> int:
+        """Number of vertex states held as a backup."""
+        return len(self._backups)
+
+    def reset_for_rejoin(self) -> None:
+        """Clear volatile protocol state when the endsystem restarts.
+
+        Leaf targets survive: the paper persists the chosen vertexId with
+        the query, so a restarted endsystem re-submits to the same vertex
+        and is still counted exactly once.
+        """
+        self._vertices.clear()
+        self._backups.clear()
+        self._pending.clear()
+        if self._retransmit_timer is not None:
+            self._retransmit_timer.cancel()
+            self._retransmit_timer = None

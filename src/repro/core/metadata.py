@@ -1,0 +1,185 @@
+"""Replicated per-endsystem metadata: data summaries + availability models.
+
+The metadata for endsystem ``x`` consists of the histograms on indexed
+columns of ``x``'s local database (the *data summary*), per-table row
+counts, and ``x``'s availability model.  It is replicated on the ``k``
+endsystems numerically closest to ``x`` — the *replica set* — so that
+when ``x`` is unavailable any replica member can generate completeness
+predictions on its behalf (paper §3.2).
+
+This module holds the data structures; the message protocol lives in
+:mod:`repro.core.node`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping, Optional
+
+from repro.core.availability_model import AvailabilityModel
+from repro.core.views import ViewResult, ViewSpec, materialize_views, normalize_sql
+from repro.db.engine import LocalDatabase
+from repro.db.histogram import Histogram
+from repro.db.sql import ParsedQuery
+
+
+@dataclass
+class EndsystemMetadata:
+    """One endsystem's replicated metadata record.
+
+    Attributes:
+        owner: The endsystem's overlay id.
+        summaries: ``{table: {column: histogram}}`` for indexed columns.
+        row_counts: ``{table: total rows}`` — the base for selectivity.
+        availability: Snapshot of the owner's availability model.
+        version: Monotone push version (replicas keep the newest).
+    """
+
+    owner: int
+    summaries: dict[str, dict[str, Histogram]]
+    row_counts: dict[str, int]
+    availability: AvailabilityModel
+    version: int = 0
+    #: Materialized view results keyed by view name (selective replication).
+    views: dict[str, ViewResult] = field(default_factory=dict)
+    #: Normalized view SQL -> view name, for query matching.
+    view_index: dict[str, str] = field(default_factory=dict)
+
+    def summary_bytes(self) -> int:
+        """Serialized size of the data summary (the model parameter ``h``)."""
+        total = 0
+        for per_column in self.summaries.values():
+            for histogram in per_column.values():
+                total += histogram.size_bytes()
+        total += 12 * len(self.row_counts)
+        total += sum(view.wire_size() for view in self.views.values())
+        return total
+
+    def wire_size(self) -> int:
+        """Total replicated size: summary + availability model."""
+        return self.summary_bytes() + self.availability.wire_size()
+
+    def estimate_rows(self, query: ParsedQuery) -> float:
+        """Estimated rows relevant to ``query`` on behalf of an
+        *unavailable* endsystem.
+
+        If the query matches a replicated view, the answer is the view's
+        exact stored row count; otherwise the standard histogram-based
+        selectivity estimate.
+        """
+        from repro.db.histogram import estimate_row_count
+
+        if query.text:
+            view_name = self.view_index.get(normalize_sql(query.text))
+            if view_name is not None:
+                return float(self.views[view_name].row_count)
+        table = query.table.lower()
+        histograms = dict(self.summaries.get(table, {}))
+        total_rows = self.row_counts.get(table, 0)
+        return estimate_row_count(query.predicate, histograms, total_rows)
+
+    @classmethod
+    def build(
+        cls,
+        owner: int,
+        database: LocalDatabase,
+        availability: AvailabilityModel,
+        version: int = 0,
+        histogram_buckets: int = 64,
+        view_specs: tuple[ViewSpec, ...] = (),
+        now: float = 0.0,
+    ) -> "EndsystemMetadata":
+        """Construct fresh metadata from an endsystem's local state."""
+        summaries = database.build_summaries(num_buckets=histogram_buckets)
+        row_counts = {
+            name.lower(): database.total_rows(name) for name in database.table_names
+        }
+        views = materialize_views(view_specs, database, now) if view_specs else {}
+        view_index = {spec.key: spec.name for spec in view_specs}
+        return cls(
+            owner=owner,
+            summaries=summaries,
+            row_counts=row_counts,
+            availability=availability,
+            version=version,
+            views=views,
+            view_index=view_index,
+        )
+
+
+@dataclass
+class MetadataRecord:
+    """A replica's view of one endsystem: metadata + observed liveness."""
+
+    metadata: EndsystemMetadata
+    #: When this replica observed the owner become unavailable (None = up).
+    down_since: Optional[float] = None
+    #: Last time the record was refreshed by a push.
+    refreshed_at: float = 0.0
+
+
+class MetadataStore:
+    """The metadata records one node holds on behalf of other endsystems."""
+
+    def __init__(self) -> None:
+        self._records: dict[int, MetadataRecord] = {}
+
+    def store(
+        self, metadata: EndsystemMetadata, now: float, owner_online: bool = True
+    ) -> bool:
+        """Install (or refresh) a record; stale versions are ignored.
+
+        Returns True if the record was installed or refreshed.
+        """
+        existing = self._records.get(metadata.owner)
+        if existing is not None and existing.metadata.version > metadata.version:
+            return False
+        down_since = None
+        if existing is not None and not owner_online:
+            down_since = existing.down_since
+        self._records[metadata.owner] = MetadataRecord(
+            metadata=metadata, down_since=down_since, refreshed_at=now
+        )
+        return True
+
+    def get(self, owner: int) -> Optional[MetadataRecord]:
+        """The record for ``owner``, if held."""
+        return self._records.get(owner)
+
+    def mark_down(self, owner: int, now: float) -> None:
+        """Record that the owner was observed to fail at ``now``."""
+        record = self._records.get(owner)
+        if record is not None and record.down_since is None:
+            record.down_since = now
+
+    def mark_up(self, owner: int) -> None:
+        """Record that the owner is up again."""
+        record = self._records.get(owner)
+        if record is not None:
+            record.down_since = None
+
+    def drop(self, owner: int) -> None:
+        """Discard a record (no longer in the replica set)."""
+        self._records.pop(owner, None)
+
+    def owners(self) -> list[int]:
+        """All endsystem ids with a held record."""
+        return list(self._records)
+
+    def owners_in_range(self, lo: int, hi: int) -> list[int]:
+        """Held owners within the wrapped namespace range ``[lo, hi)``."""
+        from repro.overlay.ids import in_wrapped_range
+
+        return [
+            owner for owner in self._records if in_wrapped_range(owner, lo, hi)
+        ]
+
+    def total_bytes(self) -> int:
+        """Total replicated metadata bytes held by this node."""
+        return sum(record.metadata.wire_size() for record in self._records.values())
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def __contains__(self, owner: int) -> bool:
+        return owner in self._records

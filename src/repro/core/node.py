@@ -1,0 +1,593 @@
+"""The Seaweed endsystem: protocol glue for one node.
+
+A :class:`SeaweedNode` couples a Pastry node with the endsystem's local
+database and runs the three Seaweed services on top:
+
+* **metadata replication** — proactive pushes of the availability model
+  and data summary to the k closest neighbours, re-replication on churn,
+  and down-time observation for held records;
+* **query dissemination / completeness prediction** — the
+  :class:`~repro.core.dissemination.Disseminator`;
+* **result aggregation** — the
+  :class:`~repro.core.aggregation.ResultAggregator`.
+
+It also implements the lifecycle behaviours of §2: a node that becomes
+available (re)joins the overlay, pushes fresh metadata, asks a neighbour
+for the list of currently active queries, and contributes its results to
+each — which is how incremental results keep arriving for the lifetime of
+a query.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional
+
+import numpy as np
+
+from repro.core.aggregation import (
+    KIND_RESULT_ACK,
+    KIND_RESULT_SUBMIT,
+    KIND_VERTEX_REPL,
+    ResultAggregator,
+)
+from repro.core.availability_model import AvailabilityModel
+from repro.core.config import SeaweedConfig
+from repro.core.dissemination import (
+    KIND_BCAST,
+    KIND_BCAST_ACK,
+    KIND_PREDICTOR,
+    KIND_PREDICTOR_RESULT,
+    KIND_QUERY_INJECT,
+    Disseminator,
+)
+from repro.core.metadata import EndsystemMetadata, MetadataStore
+from repro.core.predictor import CompletenessPredictor
+from repro.core.query import QueryDescriptor, QueryStatus
+from repro.db.engine import LocalDatabase
+from repro.db.executor import QueryResult
+from repro.db.sql import ParsedQuery
+from repro.net.stats import CATEGORY_MAINTENANCE
+from repro.overlay.ids import ring_distance
+from repro.overlay.node import PastryNode
+
+KIND_META_PUSH = "SW_META_PUSH"
+KIND_ACTIVE_REQ = "SW_ACTIVE_REQ"
+KIND_ACTIVE_RESP = "SW_ACTIVE_RESP"
+KIND_STATUS = "SW_STATUS"
+KIND_CANCEL = "SW_CANCEL"
+
+#: Settling delay between overlay join and Seaweed-level (re)announcements.
+JOIN_SETTLE_DELAY = 1.5
+
+
+class SeaweedNode:
+    """One endsystem running the full Seaweed stack."""
+
+    def __init__(
+        self,
+        pastry: PastryNode,
+        database: LocalDatabase,
+        config: SeaweedConfig,
+        rng: np.random.Generator,
+    ) -> None:
+        self.pastry = pastry
+        self.database = database
+        self.config = config
+        self.sim = pastry.network.sim
+        self.node_id = pastry.node_id
+        self._rng = rng
+        self.availability = AvailabilityModel(
+            num_down_buckets=config.down_duration_buckets,
+            periodic_threshold=config.periodic_threshold,
+        )
+        self.metadata_store = MetadataStore()
+        self.disseminator = Disseminator(self)
+        self.aggregator = ResultAggregator(self)
+        self.known_queries: dict[int, QueryDescriptor] = {}
+        self.query_statuses: dict[int, QueryStatus] = {}
+        #: Tombstones for explicitly cancelled queries (epidemic spread).
+        self.cancelled_queries: set[int] = set()
+        self._contributed: set[int] = set()
+        self._parsed: dict[int, ParsedQuery] = {}
+        self._local_results: dict[int, tuple[QueryDescriptor, QueryResult]] = {}
+        self._summary_timer = None
+        self._refresh_timer = None
+        #: Data generation last pushed per replica (delta encoding).
+        self._pushed_generation: dict[int, int] = {}
+        self._metadata_version = 0
+        self._last_down_at: Optional[float] = None
+        self._last_replica_set: list[int] = []
+        pastry.set_deliver(self._deliver)
+        pastry.set_neighbour_change(self._on_leafset_change)
+        pastry.set_neighbour_failed(self._on_neighbour_failed)
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+
+    def go_online(self, bootstrap: Optional[PastryNode]) -> None:
+        """The endsystem becomes available: join, learn, announce."""
+        now = self.sim.now
+        if self._last_down_at is not None:
+            self.availability.record_down_duration(now - self._last_down_at)
+            self._last_down_at = None
+        self.availability.record_up_event(self.sim.clock.hour_of_day(now))
+        self._contributed.clear()
+        self.disseminator.reset_for_rejoin()
+        self.aggregator.reset_for_rejoin()
+        self.pastry.go_online(bootstrap)
+        self.sim.schedule(JOIN_SETTLE_DELAY, self._after_join)
+
+    def go_offline(self) -> None:
+        """The endsystem fails or shuts down (fail-stop)."""
+        self._last_down_at = self.sim.now
+        for timer_name in ("_summary_timer", "_refresh_timer"):
+            timer = getattr(self, timer_name)
+            if timer is not None:
+                timer.cancel()
+                setattr(self, timer_name, None)
+        self.pastry.go_offline()
+
+    def _after_join(self) -> None:
+        if not self.pastry.online:
+            return
+        self.push_metadata()
+        self._request_active_queries()
+        period = self.config.summary_push_period
+        # Randomized phase avoids system-wide push spikes (paper §4.3).
+        first = float(self._rng.uniform(0.0, period))
+        self._summary_timer = self.sim.schedule_periodic(
+            period, self._periodic_push, first_delay=first
+        )
+        refresh = self.config.result_refresh_period
+        self._refresh_timer = self.sim.schedule_periodic(
+            refresh, self._refresh_results, first_delay=float(self._rng.uniform(0.0, refresh))
+        )
+
+    def _refresh_results(self) -> None:
+        """Periodic repair sweep: (re-)contribute to every active query.
+
+        Re-submissions are versioned and idempotent at the tree vertices,
+        so this only adds rows that were lost to correlated vertex
+        failures — and picks up queries this node learned about but has
+        not executed yet.
+        """
+        if not self.pastry.online:
+            return
+        # Re-ask a neighbour for active queries: the join-time request may
+        # have hit a member that had not heard of a query yet.
+        self._request_active_queries()
+        now = self.sim.now
+        for query_id, descriptor in list(self.known_queries.items()):
+            if now > descriptor.expires_at or query_id in self.cancelled_queries:
+                continue
+            if query_id not in self._contributed:
+                self.execute_and_submit(descriptor)
+            else:
+                stored = self._local_results.get(query_id)
+                if stored is not None:
+                    self.aggregator.submit_local_result(stored[0], stored[1])
+
+    # ------------------------------------------------------------------
+    # Metadata replication
+    # ------------------------------------------------------------------
+
+    def push_metadata(self) -> None:
+        """Push this endsystem's metadata to its replica set.
+
+        With ``delta_summaries`` enabled (paper §3.2.2's delta-encoding
+        optimization), a replica that already has the current data
+        generation receives only a small freshness beacon; the histogram
+        set is only re-sent when the data changed or the replica is new.
+        """
+        if not self.pastry.online:
+            return
+        self._metadata_version += 1
+        metadata = EndsystemMetadata.build(
+            owner=self.node_id,
+            database=self.database,
+            availability=AvailabilityModel.from_snapshot(
+                self.availability.snapshot(), self.config.periodic_threshold
+            ),
+            version=self._metadata_version,
+            histogram_buckets=self.config.histogram_buckets,
+            view_specs=self.config.views,
+            now=self.sim.now,
+        )
+        replicas = self.pastry.replica_set(self.config.metadata_replicas)
+        self._last_replica_set = replicas
+        payload = {"metadata": metadata, "owner_online": True}
+        generation = self.database.generation
+        for replica in replicas:
+            size = metadata.wire_size()
+            if (
+                self.config.delta_summaries
+                and self._pushed_generation.get(replica) == generation
+            ):
+                size = self.config.delta_beacon_bytes
+            self._pushed_generation[replica] = generation
+            self.send_app(
+                replica,
+                KIND_META_PUSH,
+                payload,
+                size,
+                category=CATEGORY_MAINTENANCE,
+            )
+
+    def _periodic_push(self) -> None:
+        """The proactive periodic push (rate p in the analytic model)."""
+        if not self.pastry.online:
+            return
+        self.push_metadata()
+        self._rereplicate_held_records()
+
+    def _rereplicate_held_records(self) -> None:
+        """Maintain k replicas for dead owners we are responsible for.
+
+        For each held record whose owner we are currently the closest live
+        node to, push it to the owner's (approximate) current replica set.
+        Versioned stores make duplicates cheap and idempotent.
+        """
+        for owner in self.metadata_store.owners():
+            if owner == self.node_id:
+                continue
+            record = self.metadata_store.get(owner)
+            if record is None or record.down_since is None:
+                continue
+            if not self.pastry.is_closest_to(owner):
+                continue
+            candidates = sorted(
+                self.pastry.leafset.members,
+                key=lambda member: ring_distance(member, owner),
+            )[: self.config.metadata_replicas]
+            payload = {"metadata": record.metadata, "owner_online": False,
+                       "down_since": record.down_since}
+            for candidate in candidates:
+                self.send_app(
+                    candidate,
+                    KIND_META_PUSH,
+                    payload,
+                    record.metadata.wire_size(),
+                    category=CATEGORY_MAINTENANCE,
+                )
+
+    def _handle_meta_push(self, payload: dict) -> None:
+        metadata: EndsystemMetadata = payload["metadata"]
+        stored = self.metadata_store.store(
+            metadata, self.sim.now, owner_online=payload.get("owner_online", True)
+        )
+        if not stored:
+            return
+        if payload.get("owner_online", True):
+            self.metadata_store.mark_up(metadata.owner)
+        else:
+            down_since = payload.get("down_since")
+            if down_since is not None:
+                self.metadata_store.mark_down(metadata.owner, down_since)
+
+    # ------------------------------------------------------------------
+    # Active query distribution
+    # ------------------------------------------------------------------
+
+    def _request_active_queries(self) -> None:
+        members = self.pastry.leafset.members
+        if not members:
+            return
+        target = members[int(self._rng.integers(0, len(members)))]
+        self.send_app(target, KIND_ACTIVE_REQ, self.node_id, 16)
+
+    def _handle_active_req(self, requester: int) -> None:
+        now = self.sim.now
+        active = [
+            descriptor.to_payload()
+            for descriptor in self.known_queries.values()
+            if now <= descriptor.expires_at
+            and descriptor.query_id not in self.cancelled_queries
+        ]
+        payload = {"active": active, "cancelled": list(self.cancelled_queries)}
+        size = 16 + sum(len(item["sql"]) + 48 for item in active)
+        size += 16 * len(self.cancelled_queries)
+        self.send_app(requester, KIND_ACTIVE_RESP, payload, size)
+
+    def _handle_active_resp(self, payload: dict) -> None:
+        for query_id in payload.get("cancelled", ()):  # tombstones first
+            self.cancel_query(query_id)
+        for item in payload["active"]:
+            descriptor = QueryDescriptor.from_payload(item)
+            if descriptor.query_id in self.cancelled_queries:
+                continue
+            self.remember_query(descriptor)
+            if self.sim.now <= descriptor.expires_at:
+                self.execute_and_submit(descriptor)
+
+    # ------------------------------------------------------------------
+    # Query execution and injection
+    # ------------------------------------------------------------------
+
+    def inject_query(
+        self,
+        sql: str,
+        now_binding: Optional[float] = None,
+        lifetime: float = 48 * 3600.0,
+        continuous_period: Optional[float] = None,
+    ) -> QueryDescriptor:
+        """Inject a query from this endsystem (the application API).
+
+        ``continuous_period`` turns the one-shot query into a continuous
+        one: every endsystem re-executes at that period and pushes an
+        updated contribution up the (persistent) result tree — the §3.4
+        extension.
+        """
+        descriptor = QueryDescriptor.create(
+            sql,
+            origin=self.node_id,
+            injected_at=self.sim.now,
+            now_binding=now_binding,
+            lifetime=lifetime,
+            continuous_period=continuous_period,
+        )
+        self.query_statuses[descriptor.query_id] = QueryStatus(descriptor)
+        self.disseminator.inject(descriptor)
+        self._schedule_predictor_retry(descriptor, attempt=1)
+        return descriptor
+
+    def _schedule_predictor_retry(
+        self, descriptor: QueryDescriptor, attempt: int
+    ) -> None:
+        self.sim.schedule(
+            self.config.predictor_retry_interval,
+            self._predictor_retry,
+            descriptor,
+            attempt,
+        )
+
+    def _predictor_retry(self, descriptor: QueryDescriptor, attempt: int) -> None:
+        """Reissue the (idempotent) inject to obtain or refine the predictor.
+
+        Covers root failure during predictor aggregation (the new root
+        rebuilds the broadcast tree) and degraded routing state at the
+        first attempt (the first refinement passes re-disseminate and the
+        originator keeps the best answer).
+        """
+        if not self.pastry.online:
+            return
+        status = self.query_statuses.get(descriptor.query_id)
+        if status is None:
+            return
+        refining = attempt <= 3  # a few mandatory refinement passes
+        if status.predictor is not None and not refining:
+            return
+        if attempt > self.config.predictor_retry_limit:
+            return
+        self.disseminator.inject(descriptor)
+        self._schedule_predictor_retry(descriptor, attempt + 1)
+
+    def cancel_query(self, query_id: int) -> None:
+        """Explicitly cancel a query (paper §2: "until it times out or is
+        explicitly canceled").
+
+        Installs a tombstone locally, drops volatile state, and gossips
+        the cancellation to the leafset; tombstones also ride the
+        active-query exchange, so the whole population stops refreshing
+        within one repair cycle.
+        """
+        if query_id in self.cancelled_queries:
+            return
+        self.cancelled_queries.add(query_id)
+        self._local_results.pop(query_id, None)
+        self.disseminator.expire_query(query_id)
+        if self.pastry.online:
+            for member in self.pastry.leafset.members:
+                self.send_app(member, KIND_CANCEL, query_id, 24)
+
+    def _handle_cancel(self, query_id: int) -> None:
+        self.cancel_query(query_id)
+
+    def is_cancelled(self, query_id: int) -> bool:
+        """Whether a cancellation tombstone exists for ``query_id``."""
+        return query_id in self.cancelled_queries
+
+    def execute_and_submit(self, descriptor: QueryDescriptor) -> None:
+        """Run the query locally and submit the result to the tree (once)."""
+        if descriptor.query_id in self.cancelled_queries:
+            return
+        if descriptor.query_id in self._contributed:
+            return
+        if self.sim.now > descriptor.expires_at:
+            return
+        self._contributed.add(descriptor.query_id)
+        result = self.database.execute(self.parsed_query(descriptor))
+        self._local_results[descriptor.query_id] = (descriptor, result)
+        self.aggregator.submit_local_result(descriptor, result)
+        if descriptor.continuous_period is not None:
+            self.sim.schedule(
+                descriptor.continuous_period, self._continuous_tick, descriptor
+            )
+
+    def _continuous_tick(self, descriptor: QueryDescriptor) -> None:
+        """Re-execute a continuous query and push the fresh contribution."""
+        if self.sim.now > descriptor.expires_at:
+            return
+        if descriptor.query_id in self.cancelled_queries:
+            return
+        if self.pastry.online:
+            result = self.database.execute(self.parsed_query(descriptor))
+            self._local_results[descriptor.query_id] = (descriptor, result)
+            self.aggregator.submit_local_result(descriptor, result)
+        self.sim.schedule(
+            descriptor.continuous_period, self._continuous_tick, descriptor
+        )
+
+    def parsed_query(self, descriptor: QueryDescriptor) -> ParsedQuery:
+        """Parse-with-cache for a query descriptor."""
+        parsed = self._parsed.get(descriptor.query_id)
+        if parsed is None:
+            parsed = descriptor.parse()
+            self._parsed[descriptor.query_id] = parsed
+        return parsed
+
+    def local_relevant_rows(self, descriptor: QueryDescriptor) -> int:
+        """Exact relevant-row count from the local DBMS (available path)."""
+        return self.database.relevant_row_count(self.parsed_query(descriptor))
+
+    def new_predictor(self) -> CompletenessPredictor:
+        """A fresh predictor with this deployment's bucketing."""
+        return CompletenessPredictor(
+            self.config.predictor_buckets, self.config.predictor_horizon
+        )
+
+    def remember_query(self, descriptor: QueryDescriptor) -> None:
+        """Record an active query (rejoining neighbours will ask for these)."""
+        self.known_queries.setdefault(descriptor.query_id, descriptor)
+
+    def known_query(self, query_id: int) -> Optional[QueryDescriptor]:
+        """Look up a remembered query descriptor."""
+        return self.known_queries.get(query_id)
+
+    def believes_online(self, owner: int) -> bool:
+        """Whether this node believes endsystem ``owner`` is currently up."""
+        return owner in self.pastry.leafset
+
+    def answer_view_locally(self, view_name: str):
+        """Instant (stale) answer for a replicated view over this node's
+        metadata neighbourhood: its own data plus every held record.
+
+        Returns ``(merged QueryResult, contributing endsystem count)``.
+        Selective replication's low-latency path: no network round trips,
+        staleness bounded by the replication push period.
+        """
+        spec = next(
+            (view for view in self.config.views if view.name == view_name), None
+        )
+        if spec is None:
+            raise KeyError(f"no replicated view named {view_name!r}")
+        merged = self.database.execute(spec.parse())
+        contributors = 1
+        for owner in self.metadata_store.owners():
+            if owner == self.node_id:
+                continue
+            record = self.metadata_store.get(owner)
+            view = record.metadata.views.get(view_name)
+            if view is None:
+                continue
+            merged = merged.merge(view.to_query_result())
+            contributors += 1
+        return merged, contributors
+
+    # ------------------------------------------------------------------
+    # Root/originator callbacks
+    # ------------------------------------------------------------------
+
+    def on_predictor_ready(
+        self, descriptor: QueryDescriptor, predictor: CompletenessPredictor
+    ) -> None:
+        """Called at the root when an aggregated predictor is complete.
+
+        Refinement passes may produce several; keep the most complete one
+        (the estimate covering the most endsystems).
+        """
+        status = self.query_statuses.setdefault(
+            descriptor.query_id, QueryStatus(descriptor)
+        )
+        if status.predictor is None or predictor.endsystems >= status.predictor.endsystems:
+            status.predictor = predictor
+            if status.predictor_ready_at is None:
+                status.predictor_ready_at = self.sim.now
+
+    def on_root_result(
+        self, descriptor: QueryDescriptor, merged: QueryResult
+    ) -> None:
+        """Called at the root whenever the incremental result changes."""
+        status = self.query_statuses.setdefault(
+            descriptor.query_id, QueryStatus(descriptor)
+        )
+        status.result = merged
+        status.record(self.sim.now)
+        if descriptor.origin != self.node_id:
+            payload = {
+                "query_id": descriptor.query_id,
+                "result": merged,
+                "time": self.sim.now,
+            }
+            self.send_app(
+                descriptor.origin, KIND_STATUS, payload, merged.wire_size() + 24
+            )
+
+    def _handle_status(self, payload: dict) -> None:
+        descriptor = self.known_queries.get(payload["query_id"])
+        if descriptor is None:
+            return
+        status = self.query_statuses.setdefault(
+            descriptor.query_id, QueryStatus(descriptor)
+        )
+        status.result = payload["result"]
+        status.record(self.sim.now)
+
+    def _handle_predictor_result(self, payload: dict) -> None:
+        descriptor = self.known_queries.get(payload["query_id"])
+        if descriptor is None:
+            return
+        status = self.query_statuses.setdefault(
+            descriptor.query_id, QueryStatus(descriptor)
+        )
+        incoming = payload["predictor"]
+        if status.predictor is None or incoming.endsystems >= status.predictor.endsystems:
+            status.predictor = incoming
+            if status.predictor_ready_at is None:
+                status.predictor_ready_at = self.sim.now
+
+    # ------------------------------------------------------------------
+    # Overlay hooks and message dispatch
+    # ------------------------------------------------------------------
+
+    def send_app(
+        self,
+        dst_id: int,
+        kind: str,
+        payload: Any,
+        size: int,
+        category: str = "query",
+    ) -> None:
+        """Single-hop application message to a known node id."""
+        self.pastry.send_direct(dst_id, kind, payload, size, category=category)
+
+    def _deliver(self, key: int, kind: str, payload: Any, hops: int) -> None:
+        handler = {
+            KIND_QUERY_INJECT: self.disseminator.on_inject,
+            KIND_BCAST: self.disseminator.on_broadcast,
+            KIND_BCAST_ACK: self.disseminator.on_ack,
+            KIND_PREDICTOR: self.disseminator.on_predictor,
+            KIND_PREDICTOR_RESULT: self._handle_predictor_result,
+            KIND_RESULT_SUBMIT: self.aggregator.on_submit,
+            KIND_RESULT_ACK: self.aggregator.on_ack,
+            KIND_VERTEX_REPL: self.aggregator.on_replicate,
+            KIND_META_PUSH: self._handle_meta_push,
+            KIND_ACTIVE_REQ: self._handle_active_req,
+            KIND_ACTIVE_RESP: self._handle_active_resp,
+            KIND_STATUS: self._handle_status,
+            KIND_CANCEL: self._handle_cancel,
+        }.get(kind)
+        if handler is not None:
+            handler(payload)
+
+    def _on_leafset_change(self) -> None:
+        """New neighbours may mean a new replica set: refresh pushes."""
+        if not self.pastry.online:
+            return
+        self.aggregator.on_leafset_change()
+        current = self.pastry.replica_set(self.config.metadata_replicas)
+        if set(current) != set(self._last_replica_set):
+            # Coalesce: at most one refresh push per settle delay.
+            self.sim.schedule(JOIN_SETTLE_DELAY, self._refresh_if_changed, current)
+
+    def _refresh_if_changed(self, expected: list[int]) -> None:
+        if not self.pastry.online:
+            return
+        current = self.pastry.replica_set(self.config.metadata_replicas)
+        if set(current) != set(self._last_replica_set) and current == expected:
+            self.push_metadata()
+
+    def _on_neighbour_failed(self, dead_id: int) -> None:
+        """A leafset neighbour stopped heartbeating."""
+        self.metadata_store.mark_down(dead_id, self.sim.now)
+        self.aggregator.on_neighbour_failed(dead_id)

@@ -1,0 +1,295 @@
+"""The Seaweed system facade: a full packet-level deployment in one object.
+
+``SeaweedSystem`` assembles the whole stack — simulator, topology,
+transport with bandwidth accounting, Pastry overlay, and one
+:class:`~repro.core.node.SeaweedNode` per endsystem — drives endsystem
+availability from a :class:`~repro.traces.availability.TraceSet`, and
+assigns each endsystem an Anemone data profile, exactly mirroring the
+paper's experimental setup (§4.3.1).
+
+This is the public entry point for applications and for the packet-level
+experiments (Figs. 9-10).  The *simplified* availability-only simulator
+used for the prediction experiments (Figs. 5-8) lives in
+:mod:`repro.harness.prediction`.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.core.config import SeaweedConfig
+from repro.core.node import SeaweedNode
+from repro.core.query import QueryDescriptor, QueryStatus
+from repro.db.engine import LocalDatabase
+from repro.net.stats import BandwidthAccounting
+from repro.net.topology import Topology, corpnet_like
+from repro.net.transport import Transport
+from repro.overlay.ids import random_id
+from repro.overlay.network import OverlayNetwork
+from repro.sim.randomness import RandomStreams
+from repro.sim.simulator import SimClock, Simulator
+from repro.traces.availability import AvailabilitySchedule, TraceSet
+from repro.workload.anemone import AnemoneDataset
+
+
+class SeaweedSystem:
+    """A complete simulated Seaweed deployment."""
+
+    def __init__(
+        self,
+        trace: TraceSet,
+        dataset: AnemoneDataset,
+        num_endsystems: Optional[int] = None,
+        config: Optional[SeaweedConfig] = None,
+        master_seed: int = 0,
+        loss_rate: float = 0.0,
+        startup_stagger: float = 300.0,
+        topology: Optional[Topology] = None,
+        bandwidth_bucket: float = 3600.0,
+        id_seed: Optional[int] = None,
+        private_databases: bool = False,
+    ) -> None:
+        """Build the deployment.
+
+        Args:
+            trace: Availability schedules; profiles are randomly assigned.
+            dataset: Anemone data profiles; randomly assigned per endsystem.
+            num_endsystems: Population size (defaults to ``len(trace)``).
+            config: Seaweed configuration.
+            master_seed: Root of all random streams.
+            loss_rate: Uniform network message loss probability.
+            startup_stagger: Endsystems up at t=0 join uniformly at random
+                within this window, modelling a deployment rollout rather
+                than a thundering herd.
+            topology: Router topology (a CorpNet-like default is built).
+            bandwidth_bucket: Accounting bucket width in seconds.
+            id_seed: Separate seed for endsystemId assignment — vary this
+                (only) to rerun with different id assignments (Fig. 9c).
+            private_databases: Give each endsystem its own mutable copy
+                of its profile database (required for live update feeds
+                and continuous-query demos; costs memory).
+        """
+        self.config = config if config is not None else SeaweedConfig()
+        self.streams = RandomStreams(master_seed)
+        self.sim = Simulator(SimClock())
+        self.accounting = BandwidthAccounting(bucket_seconds=bandwidth_bucket)
+        if topology is None:
+            topology = corpnet_like(self.streams.get("topology"))
+        self.topology = topology
+        self.transport = Transport(
+            self.sim,
+            topology,
+            accounting=self.accounting,
+            loss_rate=loss_rate,
+            loss_rng=self.streams.get("loss") if loss_rate > 0 else None,
+        )
+        self.overlay = OverlayNetwork(
+            self.sim,
+            self.transport,
+            config=self.config.overlay,
+            rng=self.streams.get("overlay"),
+        )
+
+        count = num_endsystems if num_endsystems is not None else len(trace)
+        self.num_endsystems = count
+        id_rng = (
+            np.random.default_rng(id_seed)
+            if id_seed is not None
+            else self.streams.get("ids")
+        )
+        ids = set()
+        while len(ids) < count:
+            ids.add(random_id(id_rng))
+        self.node_ids: list[int] = sorted(ids)
+        shuffle = self.streams.get("id-shuffle")
+        shuffle.shuffle(self.node_ids)
+
+        self.schedules: list[AvailabilitySchedule] = trace.assign(
+            count, self.streams.get("trace-assign")
+        )
+        self.profiles = dataset.assign_profiles(count, self.streams.get("profiles"))
+        self.dataset = dataset
+
+        self.nodes: list[SeaweedNode] = []
+        names = []
+        for index in range(count):
+            pastry = self.overlay.create_node(self.node_ids[index])
+            database: LocalDatabase = dataset.database(int(self.profiles[index]))
+            if private_databases:
+                database = database.clone()
+            node = SeaweedNode(
+                pastry,
+                database,
+                self.config,
+                self.streams.fork(f"node-{index}").get("seaweed"),
+            )
+            self.nodes.append(node)
+            names.append(pastry.name)
+        self.topology.attach_random(names, self.streams.get("attach"))
+        self._by_id = {node.node_id: node for node in self.nodes}
+
+        self.private_databases = private_databases
+        self._online_log: list[tuple[float, int]] = [(0.0, 0)]
+        self._schedule_transitions(startup_stagger)
+        self.overlay.start_heartbeats(self.accounting)
+
+    # ------------------------------------------------------------------
+    # Availability driving
+    # ------------------------------------------------------------------
+
+    def _schedule_transitions(self, startup_stagger: float) -> None:
+        stagger_rng = self.streams.get("stagger")
+        for index, schedule in enumerate(self.schedules):
+            for time, goes_up in schedule.transitions():
+                if time == 0.0 and goes_up and startup_stagger > 0:
+                    time = float(stagger_rng.uniform(0.0, startup_stagger))
+                self.sim.schedule_at(time, self._transition, index, goes_up)
+
+    def _transition(self, index: int, goes_up: bool) -> None:
+        node = self.nodes[index]
+        if goes_up:
+            if node.pastry.online:
+                return
+            bootstrap = self.overlay.pick_bootstrap(exclude=node.node_id)
+            node.go_online(bootstrap)
+        else:
+            if not node.pastry.online:
+                return
+            node.go_offline()
+        self._online_log.append((self.sim.now, self.overlay.online_count))
+
+    def pretrain_availability(self, until: Optional[float] = None) -> None:
+        """Bulk-train every node's availability model from its history.
+
+        Stands in for the paper's multi-week warmup period without paying
+        for packet-level simulation of it.
+        """
+        horizon = until if until is not None else self.schedules[0].horizon
+        for node, schedule in zip(self.nodes, self.schedules):
+            node.availability.learn_from_schedule(
+                schedule.up_starts, schedule.up_ends, self.sim.clock, horizon
+            )
+
+    # ------------------------------------------------------------------
+    # Running and querying
+    # ------------------------------------------------------------------
+
+    def run_until(self, time: float) -> None:
+        """Advance the simulation to ``time``."""
+        self.sim.run_until(time)
+
+    def inject_query(
+        self,
+        sql: str,
+        origin_index: Optional[int] = None,
+        lifetime: float = 48 * 3600.0,
+        bind_now: bool = True,
+        continuous_period: Optional[float] = None,
+    ) -> tuple[SeaweedNode, QueryDescriptor]:
+        """Inject a query from an online endsystem.
+
+        Returns the originating node and the query descriptor.  Pass
+        ``continuous_period`` for a continuous query (§3.4 extension).
+        """
+        if origin_index is None:
+            origin = self._random_online_node()
+        else:
+            origin = self.nodes[origin_index]
+            if not origin.pastry.online:
+                raise RuntimeError(f"endsystem {origin_index} is offline")
+        descriptor = origin.inject_query(
+            sql,
+            now_binding=self.sim.now if bind_now else None,
+            lifetime=lifetime,
+            continuous_period=continuous_period,
+        )
+        return origin, descriptor
+
+    def _random_online_node(self) -> SeaweedNode:
+        online = self.overlay.online_ids
+        if not online:
+            raise RuntimeError("no endsystem is online")
+        rng = self.streams.get("query-origin")
+        node_id = online[int(rng.integers(0, len(online)))]
+        return self._by_id[node_id]
+
+    def status_of(self, descriptor: QueryDescriptor) -> Optional[QueryStatus]:
+        """The freshest status for a query.
+
+        Combines the current root's view (authoritative for the
+        incremental result) with the originator's (which holds the
+        predictor pushed at dissemination time): the returned status has
+        the most-complete result of the two and a predictor whenever
+        either view has one.
+        """
+        root_id = self.overlay.true_closest_online(descriptor.query_id)
+        candidates = []
+        if root_id is not None:
+            candidates.append(self._by_id[root_id])
+        origin = self._by_id.get(descriptor.origin)
+        if origin is not None and origin not in candidates:
+            candidates.append(origin)
+        statuses = [
+            status
+            for node in candidates
+            if (status := node.query_statuses.get(descriptor.query_id)) is not None
+        ]
+        if not statuses:
+            return None
+        best = max(statuses, key=lambda status: status.rows_processed)
+        if best.predictor is None:
+            for status in statuses:
+                if status.predictor is not None:
+                    best.predictor = status.predictor
+                    best.predictor_ready_at = status.predictor_ready_at
+                    break
+        return best
+
+    def cancel_query(self, descriptor: QueryDescriptor) -> None:
+        """Explicitly cancel an active query from its originator."""
+        origin = self._by_id.get(descriptor.origin)
+        if origin is not None:
+            origin.cancel_query(descriptor.query_id)
+
+    def node_by_id(self, node_id: int) -> SeaweedNode:
+        """Look up a node by overlay id."""
+        return self._by_id[node_id]
+
+    # ------------------------------------------------------------------
+    # Measurement helpers
+    # ------------------------------------------------------------------
+
+    @property
+    def online_count(self) -> int:
+        """Currently online endsystems."""
+        return self.overlay.online_count
+
+    def online_endsystem_seconds(self, start: float = 0.0, end: Optional[float] = None) -> float:
+        """Integral of the online population over ``[start, end]``.
+
+        This is the denominator for "bytes per second per online
+        endsystem" — the unit of Figs. 9 and 10.
+        """
+        if end is None:
+            end = self.sim.now
+        total = 0.0
+        log = self._online_log
+        for position in range(len(log)):
+            t0, count = log[position]
+            t1 = log[position + 1][0] if position + 1 < len(log) else end
+            lo = max(t0, start)
+            hi = min(t1, end)
+            if hi > lo:
+                total += count * (hi - lo)
+        return total
+
+    def ground_truth_rows(self, sql: str, now_binding: Optional[float] = None) -> int:
+        """Total relevant rows across ALL endsystems (oracle, for tests)."""
+        from repro.db.sql import parse
+
+        total = 0
+        for node in self.nodes:
+            total += node.database.relevant_row_count(parse(sql, now=now_binding))
+        return total

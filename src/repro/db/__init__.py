@@ -1,0 +1,73 @@
+"""Per-endsystem relational engine.
+
+Columnar tables, a SQL-subset parser, vectorized execution with mergeable
+aggregate states, and the histogram summaries/estimation that Seaweed's
+completeness prediction is built on.
+"""
+
+from repro.db.aggregates import (
+    AGGREGATE_FUNCTIONS,
+    AggregateError,
+    AggregateSpec,
+    AggregateState,
+    merge_states,
+)
+from repro.db.engine import LocalDatabase
+from repro.db.executor import QueryResult, count_matching, execute
+from repro.db.expressions import (
+    And,
+    Comparison,
+    ExpressionError,
+    Not,
+    Or,
+    Predicate,
+    TruePredicate,
+    conjunction,
+    conjuncts,
+)
+from repro.db.histogram import (
+    EquiDepthHistogram,
+    FrequencyHistogram,
+    Histogram,
+    build_histogram,
+    estimate_row_count,
+)
+from repro.db.schema import Column, ColumnType, Schema, SchemaError, make_schema
+from repro.db.sql import ParsedQuery, SQLSyntaxError, parse, tokenize
+from repro.db.table import Table
+
+__all__ = [
+    "AGGREGATE_FUNCTIONS",
+    "AggregateError",
+    "AggregateSpec",
+    "AggregateState",
+    "And",
+    "Column",
+    "ColumnType",
+    "Comparison",
+    "EquiDepthHistogram",
+    "ExpressionError",
+    "FrequencyHistogram",
+    "Histogram",
+    "LocalDatabase",
+    "Not",
+    "Or",
+    "ParsedQuery",
+    "Predicate",
+    "QueryResult",
+    "SQLSyntaxError",
+    "Schema",
+    "SchemaError",
+    "Table",
+    "TruePredicate",
+    "build_histogram",
+    "conjunction",
+    "conjuncts",
+    "count_matching",
+    "estimate_row_count",
+    "execute",
+    "make_schema",
+    "merge_states",
+    "parse",
+    "tokenize",
+]

@@ -1,0 +1,138 @@
+"""The per-endsystem local database facade.
+
+A :class:`LocalDatabase` is what runs on every endsystem: it holds that
+endsystem's horizontal partition of each table, executes local queries,
+and builds the histogram summaries that Seaweed replicates as metadata.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Mapping, Optional, Sequence
+
+import numpy as np
+
+from repro.db.executor import QueryResult, count_matching, execute
+from repro.db.histogram import Histogram, build_histogram, estimate_row_count
+from repro.db.schema import Schema, SchemaError
+from repro.db.sql import ParsedQuery, parse
+from repro.db.table import Table
+
+
+class LocalDatabase:
+    """All local tables for one endsystem."""
+
+    def __init__(self) -> None:
+        self._tables: dict[str, Table] = {}
+        self._generation = 0  # bumped on every write; drives summary refresh
+
+    def create_table(self, schema: Schema) -> Table:
+        """Create an empty table from ``schema``."""
+        key = schema.table_name.lower()
+        if key in self._tables:
+            raise SchemaError(f"table {schema.table_name!r} already exists")
+        table = Table(schema)
+        self._tables[key] = table
+        return table
+
+    def table(self, name: str) -> Table:
+        """Look up a table by (case-insensitive) name."""
+        found = self._tables.get(name.lower())
+        if found is None:
+            raise SchemaError(f"no such table {name!r}")
+        return found
+
+    def has_table(self, name: str) -> bool:
+        """Whether the table exists."""
+        return name.lower() in self._tables
+
+    @property
+    def table_names(self) -> list[str]:
+        """Declared table names."""
+        return [table.name for table in self._tables.values()]
+
+    @property
+    def generation(self) -> int:
+        """Monotone write counter; summaries are stale if behind it."""
+        return self._generation
+
+    def load(self, table_name: str, columns: Mapping[str, Sequence[Any]]) -> None:
+        """Bulk-load columns into a table (local update — single endsystem)."""
+        self.table(table_name).load_columns(columns)
+        self._generation += 1
+
+    def insert(self, table_name: str, row: Mapping[str, Any]) -> None:
+        """Insert one row (local update)."""
+        self.table(table_name).insert_row(row)
+        self._generation += 1
+
+    def execute_sql(self, text: str, now: Optional[float] = None) -> QueryResult:
+        """Parse and execute SQL against local data."""
+        return self.execute(parse(text, now=now))
+
+    def execute(self, query: ParsedQuery) -> QueryResult:
+        """Execute an already-parsed query."""
+        return execute(query, self.table(query.table))
+
+    def relevant_row_count(self, query: ParsedQuery) -> int:
+        """Exact count of rows relevant to ``query``.
+
+        An *available* endsystem answers its own completeness contribution
+        from its local DBMS ("it queries the local DBMS for the estimate").
+        """
+        return count_matching(query, self.table(query.table))
+
+    def clone(self) -> "LocalDatabase":
+        """An independent deep copy of all tables.
+
+        Used when each simulated endsystem must own private, mutable data
+        (e.g. live update feeds) instead of sharing a profile database.
+        """
+        copy = LocalDatabase()
+        copy._tables = {key: table.clone() for key, table in self._tables.items()}
+        copy._generation = self._generation
+        return copy
+
+    # ------------------------------------------------------------------
+    # Summaries
+    # ------------------------------------------------------------------
+
+    def build_summaries(self, num_buckets: int = 64) -> dict[str, dict[str, Histogram]]:
+        """Histograms for every indexed column of every table.
+
+        This is the data summary Seaweed replicates: ``{table: {column:
+        histogram}}``.
+        """
+        summaries: dict[str, dict[str, Histogram]] = {}
+        for table in self._tables.values():
+            per_column: dict[str, Histogram] = {}
+            for column_def in table.schema.indexed_columns:
+                values = table.column(column_def.name)
+                per_column[column_def.name.lower()] = build_histogram(
+                    values, num_buckets=num_buckets
+                )
+            if per_column:
+                summaries[table.name.lower()] = per_column
+        return summaries
+
+    def estimate_from_summaries(
+        self,
+        query: ParsedQuery,
+        summaries: Mapping[str, Mapping[str, Histogram]],
+        total_rows: int,
+    ) -> float:
+        """Row-count estimate for ``query`` using replicated histograms.
+
+        This is the path taken *on behalf of an unavailable endsystem*:
+        only the histograms and the total row count are available, so the
+        estimate uses standard selectivity arithmetic.
+        """
+        table_histograms = dict(summaries.get(query.table.lower(), {}))
+        return estimate_row_count(query.predicate, table_histograms, total_rows)
+
+    def total_bytes(self) -> int:
+        """Approximate total size of local data (the model's ``d``)."""
+        return sum(table.estimated_bytes() for table in self._tables.values())
+
+    def total_rows(self, table_name: str) -> int:
+        """Row count of one table."""
+        return self.table(table_name).num_rows

@@ -1,0 +1,105 @@
+"""Relational schema definitions.
+
+Seaweed assumes "data is relational and that for any given application
+there is a standard schema across endsystems".  A :class:`Schema` is an
+ordered list of typed columns; columns marked ``indexed`` get histograms
+in the endsystem's data summary (the paper replicates "histograms on
+indexed columns of the local database").
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator
+
+
+class ColumnType(enum.Enum):
+    """Supported column types."""
+
+    INT = "int"
+    FLOAT = "float"
+    STR = "str"
+
+    @property
+    def numeric(self) -> bool:
+        """Whether the type supports range predicates and SUM/AVG."""
+        return self is not ColumnType.STR
+
+
+@dataclass(frozen=True)
+class Column:
+    """A named, typed column.
+
+    Attributes:
+        name: Column name (case-preserving; lookups are case-insensitive).
+        type: Value type.
+        indexed: Whether the column is indexed locally — indexed columns
+            contribute a histogram to the replicated data summary.
+    """
+
+    name: str
+    type: ColumnType
+    indexed: bool = False
+
+
+class SchemaError(ValueError):
+    """Raised for unknown columns or inconsistent schema definitions."""
+
+
+@dataclass
+class Schema:
+    """An ordered collection of columns for one table."""
+
+    table_name: str
+    columns: list[Column] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        self._by_name = {column.name.lower(): column for column in self.columns}
+        if len(self._by_name) != len(self.columns):
+            raise SchemaError(f"duplicate column names in table {self.table_name}")
+
+    def column(self, name: str) -> Column:
+        """Look up a column by (case-insensitive) name."""
+        found = self._by_name.get(name.lower())
+        if found is None:
+            raise SchemaError(
+                f"table {self.table_name} has no column {name!r}; "
+                f"columns are {[c.name for c in self.columns]}"
+            )
+        return found
+
+    def has_column(self, name: str) -> bool:
+        """Whether a column of this name exists."""
+        return name.lower() in self._by_name
+
+    @property
+    def column_names(self) -> list[str]:
+        """Names in declaration order."""
+        return [column.name for column in self.columns]
+
+    @property
+    def indexed_columns(self) -> list[Column]:
+        """Columns that contribute histograms to the data summary."""
+        return [column for column in self.columns if column.indexed]
+
+    def __iter__(self) -> Iterator[Column]:
+        return iter(self.columns)
+
+    def __len__(self) -> int:
+        return len(self.columns)
+
+
+def make_schema(
+    table_name: str, specs: Iterable[tuple[str, ColumnType] | tuple[str, ColumnType, bool]]
+) -> Schema:
+    """Convenience constructor: ``make_schema("Flow", [("ts", INT, True), ...])``."""
+    columns = []
+    for spec in specs:
+        if len(spec) == 2:
+            name, ctype = spec
+            columns.append(Column(name, ctype))
+        else:
+            name, ctype, indexed = spec
+            columns.append(Column(name, ctype, indexed))
+    return Schema(table_name, columns)

@@ -1,0 +1,75 @@
+"""Plain-text reporting of tables and series.
+
+The benchmark harness prints the same rows/series each paper table and
+figure reports; these helpers keep that output consistent and readable.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping, Sequence
+
+import numpy as np
+
+
+def format_table(
+    headers: Sequence[str], rows: Iterable[Sequence[object]], title: str = ""
+) -> str:
+    """Render an aligned plain-text table."""
+    materialized = [[str(cell) for cell in row] for row in rows]
+    widths = [len(header) for header in headers]
+    for row in materialized:
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+    lines = []
+    if title:
+        lines.append(title)
+    header_line = "  ".join(
+        header.ljust(widths[index]) for index, header in enumerate(headers)
+    )
+    lines.append(header_line)
+    lines.append("  ".join("-" * width for width in widths))
+    for row in materialized:
+        lines.append(
+            "  ".join(cell.ljust(widths[index]) for index, cell in enumerate(row))
+        )
+    return "\n".join(lines)
+
+
+def format_series(
+    x_label: str,
+    x_values: Sequence[float],
+    series: Mapping[str, Sequence[float]],
+    title: str = "",
+    value_format: str = "{:.3g}",
+) -> str:
+    """Render multiple named series against a shared x axis."""
+    headers = [x_label] + list(series)
+    rows = []
+    for index, x in enumerate(x_values):
+        row = [f"{x:.4g}"]
+        for name in series:
+            row.append(value_format.format(float(series[name][index])))
+        rows.append(row)
+    return format_table(headers, rows, title=title)
+
+
+def format_bytes_rate(rate: float) -> str:
+    """Human-readable bytes/second."""
+    for unit, scale in (("GB/s", 1e9), ("MB/s", 1e6), ("KB/s", 1e3)):
+        if rate >= scale:
+            return f"{rate / scale:.2f} {unit}"
+    return f"{rate:.1f} B/s"
+
+
+def summarize_distribution(samples: np.ndarray) -> dict[str, float]:
+    """Mean and key percentiles of a sample distribution."""
+    arr = np.asarray(samples, dtype=float)
+    if arr.size == 0:
+        return {"mean": 0.0, "p50": 0.0, "p90": 0.0, "p99": 0.0, "zeros": 0.0}
+    return {
+        "mean": float(arr.mean()),
+        "p50": float(np.percentile(arr, 50)),
+        "p90": float(np.percentile(arr, 90)),
+        "p99": float(np.percentile(arr, 99)),
+        "zeros": float(np.mean(arr == 0.0)),
+    }

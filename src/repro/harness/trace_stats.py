@@ -1,0 +1,68 @@
+"""Trace statistics for Figure 1 and Table 1 calibration.
+
+Figure 1 plots the number of available endsystems over the 4-week
+Farsite trace, sampled hourly; Table 1's availability parameters (f_on,
+c) are derived from the same trace.  These helpers compute both from any
+:class:`~repro.traces.availability.TraceSet`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.sim.simulator import SECONDS_PER_DAY
+from repro.traces.availability import TraceSet
+
+
+@dataclass
+class TraceStatistics:
+    """Summary statistics of an availability trace (Fig. 1 / Table 1)."""
+
+    population: int
+    horizon_days: float
+    mean_availability: float
+    min_available_fraction: float
+    max_available_fraction: float
+    departure_rate: float  # per online endsystem per second
+    churn_rate: float  # transitions per endsystem per second
+    diurnal_amplitude: float  # (max - min) / mean of the hourly series
+
+
+def compute_trace_statistics(
+    trace: TraceSet, sample_days: float | None = None
+) -> TraceStatistics:
+    """Compute Fig. 1 / Table 1 statistics for ``trace``.
+
+    ``sample_days`` bounds the hourly sampling window (the availability
+    curve is expensive at full population x full horizon).
+    """
+    end = trace.horizon
+    if sample_days is not None:
+        end = min(end, sample_days * SECONDS_PER_DAY)
+    _, counts = trace.hourly_series(0.0, end)
+    fractions = counts / len(trace)
+    mean_fraction = float(fractions.mean())
+    return TraceStatistics(
+        population=len(trace),
+        horizon_days=trace.horizon / SECONDS_PER_DAY,
+        mean_availability=trace.mean_availability(),
+        min_available_fraction=float(fractions.min()),
+        max_available_fraction=float(fractions.max()),
+        departure_rate=trace.departure_rate(),
+        churn_rate=trace.churn_rate(),
+        diurnal_amplitude=(
+            float((fractions.max() - fractions.min()) / mean_fraction)
+            if mean_fraction > 0
+            else 0.0
+        ),
+    )
+
+
+def hourly_availability_curve(
+    trace: TraceSet, days: float
+) -> tuple[np.ndarray, np.ndarray]:
+    """The Fig. 1 curve: (hours since start, available count)."""
+    times, counts = trace.hourly_series(0.0, days * SECONDS_PER_DAY)
+    return times / 3600.0, counts

@@ -1,0 +1,28 @@
+"""Simulated network: topology, message transport, bandwidth accounting."""
+
+from repro.net.stats import (
+    ALL_CATEGORIES,
+    CATEGORY_MAINTENANCE,
+    CATEGORY_OVERLAY,
+    CATEGORY_QUERY,
+    BandwidthAccounting,
+    cdf,
+    percentile,
+)
+from repro.net.topology import Topology, corpnet_like
+from repro.net.transport import MESSAGE_HEADER_BYTES, Message, Transport
+
+__all__ = [
+    "ALL_CATEGORIES",
+    "BandwidthAccounting",
+    "CATEGORY_MAINTENANCE",
+    "CATEGORY_OVERLAY",
+    "CATEGORY_QUERY",
+    "MESSAGE_HEADER_BYTES",
+    "Message",
+    "Topology",
+    "Transport",
+    "cdf",
+    "corpnet_like",
+    "percentile",
+]

@@ -1,0 +1,146 @@
+"""Network topology: a router core with endsystems attached by LAN links.
+
+The paper's packet-level simulations use the *CorpNet topology*: 298
+routers measured from the world-wide Microsoft corporate network, with
+per-link minimum RTTs, and each endsystem attached to a randomly chosen
+router by a 1 ms LAN link.  We reproduce that structure synthetically:
+
+* a hierarchical router graph (core ring + regional trees) whose link
+  RTTs follow the wide-area/metro/campus split of a global corporate WAN;
+* endsystems attached uniformly at random with a constant LAN delay.
+
+One-way message latency between endsystems is ``lan + rtt/2 + lan`` where
+``rtt`` is the shortest-path RTT between their routers.  The all-pairs
+router distances are precomputed with SciPy (298 routers is tiny), so
+per-message latency lookup is O(1).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+from scipy.sparse import csr_matrix
+from scipy.sparse.csgraph import shortest_path
+
+
+class Topology:
+    """A router graph with attached endsystems and O(1) latency lookup."""
+
+    def __init__(
+        self,
+        num_routers: int,
+        links: Sequence[tuple[int, int, float]],
+        lan_delay: float = 0.001,
+    ) -> None:
+        """Build a topology.
+
+        Args:
+            num_routers: Number of routers, identified ``0..num_routers-1``.
+            links: Undirected router links as ``(u, v, rtt_seconds)``.
+            lan_delay: One-way endsystem-to-router delay (paper: 1 ms).
+        """
+        if num_routers <= 0:
+            raise ValueError("topology needs at least one router")
+        self.num_routers = num_routers
+        self.lan_delay = lan_delay
+        self.links = list(links)
+        self._router_rtt = self._all_pairs_rtt(num_routers, self.links)
+        self._attachment: dict[str, int] = {}
+
+    @staticmethod
+    def _all_pairs_rtt(
+        num_routers: int, links: Sequence[tuple[int, int, float]]
+    ) -> np.ndarray:
+        rows, cols, vals = [], [], []
+        for u, v, rtt in links:
+            if not (0 <= u < num_routers and 0 <= v < num_routers):
+                raise ValueError(f"link ({u}, {v}) references unknown router")
+            if rtt < 0:
+                raise ValueError(f"negative RTT on link ({u}, {v})")
+            rows.extend((u, v))
+            cols.extend((v, u))
+            vals.extend((rtt, rtt))
+        graph = csr_matrix(
+            (vals, (rows, cols)), shape=(num_routers, num_routers)
+        )
+        dist = shortest_path(graph, method="D", directed=False)
+        if np.isinf(dist).any():
+            raise ValueError("router graph is not connected")
+        return dist
+
+    def attach(self, endsystem: str, router: int) -> None:
+        """Attach ``endsystem`` to ``router`` by a LAN link."""
+        if not 0 <= router < self.num_routers:
+            raise ValueError(f"unknown router {router}")
+        self._attachment[endsystem] = router
+
+    def attach_random(self, endsystems: Sequence[str], rng: np.random.Generator) -> None:
+        """Attach each endsystem to a uniformly random router (paper's setup)."""
+        routers = rng.integers(0, self.num_routers, size=len(endsystems))
+        for endsystem, router in zip(endsystems, routers):
+            self._attachment[endsystem] = int(router)
+
+    def router_of(self, endsystem: str) -> int:
+        """Router the endsystem is attached to."""
+        return self._attachment[endsystem]
+
+    def router_rtt(self, router_a: int, router_b: int) -> float:
+        """Shortest-path RTT between two routers, in seconds."""
+        return float(self._router_rtt[router_a, router_b])
+
+    def latency(self, src: str, dst: str) -> float:
+        """One-way message latency between two endsystems, in seconds."""
+        if src == dst:
+            return 0.0
+        router_src = self._attachment[src]
+        router_dst = self._attachment[dst]
+        return (
+            self.lan_delay
+            + float(self._router_rtt[router_src, router_dst]) / 2.0
+            + self.lan_delay
+        )
+
+    @property
+    def endsystems(self) -> list[str]:
+        """All attached endsystems, in attachment order."""
+        return list(self._attachment)
+
+
+def corpnet_like(
+    rng: np.random.Generator,
+    num_routers: int = 298,
+    num_regions: int = 8,
+    lan_delay: float = 0.001,
+) -> Topology:
+    """Build a CorpNet-style topology: global core ring + regional trees.
+
+    Structure (calibrated to a world-wide corporate WAN):
+
+    * one core router per region, joined in a ring with chords; core link
+      RTTs are intercontinental (20–150 ms);
+    * remaining routers split across regions; each region is a random tree
+      hung off its core router with metro/campus RTTs (0.5–8 ms).
+    """
+    if num_routers < num_regions:
+        raise ValueError("need at least one router per region")
+    links: list[tuple[int, int, float]] = []
+    cores = list(range(num_regions))
+    # Intercontinental ring plus chords between the region cores.
+    for i in cores:
+        j = (i + 1) % num_regions
+        links.append((i, j, float(rng.uniform(0.020, 0.150))))
+    for i in cores:
+        j = (i + num_regions // 2) % num_regions
+        if i < j:
+            links.append((i, j, float(rng.uniform(0.040, 0.150))))
+    # Regional trees: each non-core router parents to a random earlier
+    # router in the same region (preferential to the core keeps depth low).
+    region_members: list[list[int]] = [[core] for core in cores]
+    for router in range(num_regions, num_routers):
+        region = int(rng.integers(0, num_regions))
+        members = region_members[region]
+        parent = members[int(rng.integers(0, len(members)))]
+        links.append((router, parent, float(rng.uniform(0.0005, 0.008))))
+        members.append(router)
+    return Topology(num_routers, links, lan_delay=lan_delay)

@@ -1,0 +1,125 @@
+"""Message transport over the simulated network.
+
+The transport delivers application messages between endsystems with a
+latency taken from the :class:`~repro.net.topology.Topology`, optional
+uniform message loss, and full bandwidth accounting.  Delivery is a
+simulator event: the receiving endsystem's registered handler runs at
+``send time + latency``.
+
+Messages addressed to an endsystem that is offline at delivery time are
+dropped — exactly what happens to packets sent to a powered-off host.
+Higher layers (Pastry, Seaweed trees) are responsible for detecting and
+recovering from such losses; the paper's protocols are designed around
+this.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Optional
+
+import numpy as np
+
+from repro.net.stats import BandwidthAccounting
+from repro.net.topology import Topology
+from repro.sim.simulator import Simulator
+
+#: Fixed per-message header overhead in bytes (UDP/IP + overlay header),
+#: matching the order of magnitude MSPastry reports.
+MESSAGE_HEADER_BYTES = 48
+
+
+@dataclass
+class Message:
+    """An application message on the wire.
+
+    Attributes:
+        kind: Protocol-level message type tag (e.g. ``"QUERY_BCAST"``).
+        payload: Arbitrary application payload; never serialized, but its
+            logical size must be reflected in ``size``.
+        size: Payload size in bytes (header added by the transport).
+        src: Sending endsystem name.
+        category: Traffic category for accounting.
+    """
+
+    kind: str
+    payload: Any
+    size: int
+    src: str = ""
+    category: str = "query"
+    meta: dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def wire_size(self) -> int:
+        """Total on-the-wire size, including the fixed header."""
+        return self.size + MESSAGE_HEADER_BYTES
+
+
+Handler = Callable[[str, Message], None]
+
+
+class Transport:
+    """Delivers :class:`Message` objects between endsystems via the simulator."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        topology: Topology,
+        accounting: Optional[BandwidthAccounting] = None,
+        loss_rate: float = 0.0,
+        loss_rng: Optional[np.random.Generator] = None,
+    ) -> None:
+        if not 0.0 <= loss_rate < 1.0:
+            raise ValueError(f"loss_rate must be in [0, 1), got {loss_rate}")
+        if loss_rate > 0.0 and loss_rng is None:
+            raise ValueError("loss_rate > 0 requires a loss_rng")
+        self.sim = sim
+        self.topology = topology
+        self.accounting = accounting
+        self.loss_rate = loss_rate
+        self._loss_rng = loss_rng
+        self._handlers: dict[str, Handler] = {}
+        self._online: dict[str, bool] = {}
+        self.dropped_offline = 0
+        self.dropped_loss = 0
+
+    def register(self, endsystem: str, handler: Handler) -> None:
+        """Register the message handler for ``endsystem`` (initially offline)."""
+        self._handlers[endsystem] = handler
+        self._online.setdefault(endsystem, False)
+
+    def set_online(self, endsystem: str, online: bool) -> None:
+        """Mark an endsystem up or down; messages in flight to a down host drop."""
+        self._online[endsystem] = online
+
+    def is_online(self, endsystem: str) -> bool:
+        """Whether the endsystem is currently up."""
+        return self._online.get(endsystem, False)
+
+    def send(self, src: str, dst: str, message: Message) -> None:
+        """Send ``message`` from ``src`` to ``dst``.
+
+        Bytes are accounted at send time (they hit the wire regardless of
+        whether the destination is up).  Delivery is scheduled after the
+        topology latency; lost or dead-destination messages silently drop.
+        """
+        message.src = src
+        if self.accounting is not None:
+            self.accounting.record(
+                self.sim.now, src, dst, message.wire_size, message.category
+            )
+        if self.loss_rate > 0.0 and self._loss_rng.random() < self.loss_rate:
+            self.dropped_loss += 1
+            return
+        latency = self.topology.latency(src, dst)
+        self.sim.schedule(latency, self._deliver, dst, message)
+
+    def _deliver(self, dst: str, message: Message) -> None:
+        if not self._online.get(dst, False):
+            self.dropped_offline += 1
+            return
+        handler = self._handlers.get(dst)
+        if handler is None:
+            self.dropped_offline += 1
+            return
+        handler(dst, message)

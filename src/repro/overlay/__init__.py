@@ -1,0 +1,60 @@
+"""Pastry-style structured overlay (MSPastry semantics).
+
+Provides 128-bit circular identifier arithmetic, leafsets, prefix routing
+tables, the :class:`PastryNode` protocol machine (routing, join, repair),
+and the :class:`OverlayNetwork` coordinator with its failure detector and
+heartbeat accounting.
+"""
+
+from repro.overlay.ids import (
+    ID_BITS,
+    ID_MASK,
+    ID_SPACE,
+    closer_id,
+    common_prefix_len,
+    common_suffix_len,
+    cw_distance,
+    digit,
+    digits_per_id,
+    hex_to_id,
+    id_to_hex,
+    in_wrapped_range,
+    key_from_bytes,
+    key_from_text,
+    random_id,
+    replace_suffix,
+    ring_distance,
+    wrapped_midpoint,
+    wrapped_range_size,
+)
+from repro.overlay.leafset import Leafset
+from repro.overlay.network import OverlayConfig, OverlayNetwork
+from repro.overlay.node import PastryNode
+from repro.overlay.routing_table import RoutingTable
+
+__all__ = [
+    "ID_BITS",
+    "ID_MASK",
+    "ID_SPACE",
+    "Leafset",
+    "OverlayConfig",
+    "OverlayNetwork",
+    "PastryNode",
+    "RoutingTable",
+    "closer_id",
+    "common_prefix_len",
+    "common_suffix_len",
+    "cw_distance",
+    "digit",
+    "digits_per_id",
+    "hex_to_id",
+    "id_to_hex",
+    "in_wrapped_range",
+    "key_from_bytes",
+    "key_from_text",
+    "random_id",
+    "replace_suffix",
+    "ring_distance",
+    "wrapped_midpoint",
+    "wrapped_range_size",
+]

@@ -1,0 +1,162 @@
+"""128-bit circular identifier arithmetic for the Pastry overlay.
+
+Identifiers (endsystemIds, object keys, vertexIds) are 128-bit integers
+interpreted as sequences of digits in base ``2^b`` (b is typically 4, so a
+key is 32 hex digits).  This module provides:
+
+* digit extraction and common prefix/suffix lengths;
+* ring distances and numerically-closest comparisons on the circular
+  namespace;
+* wrapped range membership and midpoints (used by the dissemination
+  protocol's divide-and-conquer);
+* deterministic key derivation via SHA-1 (queryIds, as in the paper).
+
+All functions are pure and operate on plain ``int`` values, which keeps
+hot paths (routing, range subdivision) allocation-free.
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+import numpy as np
+
+ID_BITS = 128
+ID_SPACE = 1 << ID_BITS
+ID_MASK = ID_SPACE - 1
+
+
+def digits_per_id(b: int) -> int:
+    """Number of base-``2^b`` digits in an identifier."""
+    if b <= 0 or ID_BITS % b != 0:
+        raise ValueError(f"b must divide {ID_BITS}, got {b}")
+    return ID_BITS // b
+
+
+def digit(identifier: int, index: int, b: int) -> int:
+    """The ``index``-th digit of ``identifier`` (0 = most significant)."""
+    num_digits = digits_per_id(b)
+    if not 0 <= index < num_digits:
+        raise ValueError(f"digit index {index} out of range for b={b}")
+    shift = (num_digits - 1 - index) * b
+    return (identifier >> shift) & ((1 << b) - 1)
+
+
+def common_prefix_len(a: int, c: int, b: int) -> int:
+    """Length of the common most-significant-digit prefix of ``a`` and ``c``."""
+    if a == c:
+        return digits_per_id(b)
+    xor = (a ^ c) & ID_MASK
+    leading_zero_bits = ID_BITS - xor.bit_length()
+    return leading_zero_bits // b
+
+
+def common_suffix_len(a: int, c: int, b: int) -> int:
+    """Length of the common least-significant-digit suffix of ``a`` and ``c``."""
+    if a == c:
+        return digits_per_id(b)
+    xor = (a ^ c) & ID_MASK
+    trailing_zero_bits = (xor & -xor).bit_length() - 1
+    return trailing_zero_bits // b
+
+
+def cw_distance(src: int, dst: int) -> int:
+    """Clockwise (increasing-id) distance from ``src`` to ``dst``."""
+    return (dst - src) & ID_MASK
+
+
+def ring_distance(a: int, c: int) -> int:
+    """Minimal distance between ``a`` and ``c`` on the circular namespace."""
+    forward = (c - a) & ID_MASK
+    return min(forward, ID_SPACE - forward)
+
+
+def closer_id(candidate_a: int, candidate_b: int, target: int) -> int:
+    """The candidate numerically closer to ``target`` (ties break on lower id).
+
+    "Numerically closest" in Pastry is ring distance on the circular
+    namespace; a deterministic tie-break keeps root election unambiguous.
+    """
+    dist_a = ring_distance(candidate_a, target)
+    dist_b = ring_distance(candidate_b, target)
+    if dist_a < dist_b:
+        return candidate_a
+    if dist_b < dist_a:
+        return candidate_b
+    return min(candidate_a, candidate_b)
+
+
+def in_wrapped_range(identifier: int, lo: int, hi: int) -> bool:
+    """Whether ``identifier`` lies in the wrapped half-open range ``[lo, hi)``.
+
+    ``lo == hi`` denotes the full namespace.
+    """
+    if lo == hi:
+        return True
+    if lo < hi:
+        return lo <= identifier < hi
+    return identifier >= lo or identifier < hi
+
+
+def wrapped_range_size(lo: int, hi: int) -> int:
+    """Number of identifiers in the wrapped range ``[lo, hi)`` (full if lo==hi)."""
+    if lo == hi:
+        return ID_SPACE
+    return (hi - lo) & ID_MASK
+
+
+def wrapped_midpoint(lo: int, hi: int) -> int:
+    """Midpoint of the wrapped range ``[lo, hi)``.
+
+    Subdividing at the midpoint yields the two equal subranges used by the
+    dissemination protocol's divide-and-conquer broadcast.
+    """
+    return (lo + wrapped_range_size(lo, hi) // 2) & ID_MASK
+
+
+def key_from_bytes(data: bytes) -> int:
+    """SHA-1 based key derivation (queryId = SHA-1 of the query text)."""
+    digest = hashlib.sha1(data).digest()
+    # SHA-1 yields 160 bits; keep the most significant 128.
+    return int.from_bytes(digest[:16], "big")
+
+
+def key_from_text(text: str) -> int:
+    """Convenience wrapper: key for a unicode string (e.g. SQL text)."""
+    return key_from_bytes(text.encode("utf-8"))
+
+
+def random_id(rng: np.random.Generator) -> int:
+    """A uniformly random 128-bit identifier."""
+    high = int(rng.integers(0, 1 << 64, dtype=np.uint64))
+    low = int(rng.integers(0, 1 << 64, dtype=np.uint64))
+    return (high << 64) | low
+
+
+def id_to_hex(identifier: int) -> str:
+    """Canonical 32-hex-digit rendering of an identifier."""
+    return f"{identifier & ID_MASK:032x}"
+
+
+def hex_to_id(text: str) -> int:
+    """Parse an identifier from its hex rendering."""
+    value = int(text, 16)
+    if not 0 <= value < ID_SPACE:
+        raise ValueError(f"identifier out of range: {text}")
+    return value
+
+
+def replace_suffix(identifier: int, source: int, num_digits: int, b: int) -> int:
+    """Replace the last ``num_digits`` digits of ``identifier`` with ``source``'s.
+
+    This is the paper's ``PREFIX(vertexId, 128/b-(len+1)) + SUFFIX(queryId,
+    len+1)`` concatenation: the vertex keeps its own most-significant digits
+    and adopts the query key's least-significant ones.
+    """
+    total = digits_per_id(b)
+    if not 0 <= num_digits <= total:
+        raise ValueError(f"num_digits {num_digits} out of range for b={b}")
+    if num_digits == total:
+        return source & ID_MASK
+    mask = (1 << (num_digits * b)) - 1
+    return (identifier & ~mask) | (source & mask)

@@ -1,0 +1,208 @@
+"""Overlay coordinator: membership, failure detection, heartbeat accounting.
+
+Holds the registry of all :class:`PastryNode` instances, runs the leafset
+failure detector, and accounts heartbeat bandwidth.
+
+Two engineering deviations from a per-message implementation, both
+documented in DESIGN.md, keep the Python event count tractable at the
+scales we simulate:
+
+* **Batched heartbeat accounting.**  MSPastry sends leafset heartbeats
+  every 30 s.  Simulating each as a message event would dominate the event
+  budget, so a single periodic sweep accounts the identical number of
+  bytes per node (one heartbeat to each leafset member per period, both
+  directions) without creating per-message events.
+* **Detector-driven failure notification.**  When a node fails, every node
+  whose leafset contains it would notice a missed heartbeat within one
+  period.  We model exactly that: a reverse index records who lists whom;
+  on failure, the affected nodes receive ``on_neighbour_failed`` after the
+  heartbeat period (plus jitter), and then run the real message-based
+  leafset repair protocol.
+
+Routing, join, repair and all application traffic remain real messages
+through the simulated network.
+"""
+
+from __future__ import annotations
+
+import bisect
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.net.stats import CATEGORY_OVERLAY, BandwidthAccounting
+from repro.net.transport import Transport
+from repro.overlay.ids import ring_distance
+from repro.overlay.node import ID_BYTES, PastryNode
+from repro.sim.simulator import Simulator
+
+
+@dataclass
+class OverlayConfig:
+    """Overlay parameters (paper defaults: b=4, l=8, 30 s heartbeats)."""
+
+    b: int = 4
+    leafset_size: int = 8
+    heartbeat_period: float = 30.0
+    #: Wire size of one heartbeat message (header-dominated).
+    heartbeat_bytes: int = 2 * ID_BYTES
+    #: Extra delay after a missed heartbeat before a neighbour is declared dead.
+    detection_grace: float = 5.0
+    #: Period of the leafset stabilization exchange (state piggybacked on
+    #: heartbeats in MSPastry; an explicit message exchange here, at twice
+    #: the heartbeat period).
+    stabilize_period: float = 60.0
+    #: How long a node remembers that a peer was observed dead.  Gossip
+    #: cannot resurrect a dead entry within this window; any message
+    #: received *from* the peer clears the record immediately.
+    death_record_ttl: float = 90.0
+
+
+class OverlayNetwork:
+    """Registry and services shared by all Pastry nodes in one simulation."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        transport: Transport,
+        config: Optional[OverlayConfig] = None,
+        rng: Optional[np.random.Generator] = None,
+    ) -> None:
+        self.sim = sim
+        self.transport = transport
+        self.config = config if config is not None else OverlayConfig()
+        self._rng = rng if rng is not None else np.random.default_rng(0)
+        self.nodes: dict[int, PastryNode] = {}
+        self._online_ids: list[int] = []  # sorted, for bootstrap + ground truth
+        # Reverse leafset index: {node_id: set of nodes listing it}.
+        self._listed_by: dict[int, set[int]] = {}
+        self.routing_drops = 0
+        self.reroutes = 0
+        self._heartbeat_timer = None
+
+    # ------------------------------------------------------------------
+    # Node management
+    # ------------------------------------------------------------------
+
+    def create_node(self, node_id: int) -> PastryNode:
+        """Instantiate a node (offline until :meth:`PastryNode.go_online`)."""
+        if node_id in self.nodes:
+            raise ValueError(f"duplicate node id {node_id:032x}")
+        node = PastryNode(node_id, self)
+        self.nodes[node_id] = node
+        return node
+
+    def pick_bootstrap(self, exclude: int) -> Optional[PastryNode]:
+        """A random online node to bootstrap a join (well-known-host model)."""
+        if not self._online_ids:
+            return None
+        candidates = self._online_ids
+        for _ in range(8):
+            choice = candidates[int(self._rng.integers(0, len(candidates)))]
+            if choice != exclude:
+                return self.nodes[choice]
+        others = [node_id for node_id in candidates if node_id != exclude]
+        return self.nodes[others[0]] if others else None
+
+    def on_node_online(self, node: PastryNode) -> None:
+        """Bookkeeping when a node comes up (called by the node itself)."""
+        position = bisect.bisect_left(self._online_ids, node.node_id)
+        if position >= len(self._online_ids) or self._online_ids[position] != node.node_id:
+            self._online_ids.insert(position, node.node_id)
+
+    def on_node_offline(self, node: PastryNode) -> None:
+        """Bookkeeping + failure detection when a node goes down."""
+        position = bisect.bisect_left(self._online_ids, node.node_id)
+        if position < len(self._online_ids) and self._online_ids[position] == node.node_id:
+            self._online_ids.pop(position)
+        watchers = self._listed_by.pop(node.node_id, set())
+        delay = self.config.heartbeat_period + self.config.detection_grace
+        for watcher_id in watchers:
+            self.sim.schedule(
+                delay + float(self._rng.uniform(0.0, 1.0)),
+                self._notify_failure,
+                watcher_id,
+                node.node_id,
+            )
+
+    def _notify_failure(self, watcher_id: int, dead_id: int) -> None:
+        if dead_id in self._online_ids_set():
+            return  # came back before detection; heartbeats resumed
+        watcher = self.nodes.get(watcher_id)
+        if watcher is not None and watcher.online:
+            watcher.on_neighbour_failed(dead_id)
+
+    def _online_ids_set(self) -> "_SortedView":
+        # Membership checks are rare (only on failure notification), so a
+        # bisect-backed view avoids maintaining a shadow set.
+        return _SortedView(self._online_ids)
+
+    def on_leafset_change(self, node: PastryNode) -> None:
+        """Maintain the reverse leafset index (the failure detector's view)."""
+        for member in node.leafset.members:
+            self._listed_by.setdefault(member, set()).add(node.node_id)
+
+    # ------------------------------------------------------------------
+    # Heartbeat service
+    # ------------------------------------------------------------------
+
+    def start_heartbeats(self, accounting: Optional[BandwidthAccounting]) -> None:
+        """Begin the periodic heartbeat bandwidth sweep."""
+        if self._heartbeat_timer is not None:
+            return
+
+        def sweep() -> None:
+            if accounting is None:
+                return
+            now = self.sim.now
+            for node_id in self._online_ids:
+                node = self.nodes[node_id]
+                neighbours = len(node.leafset)
+                size = neighbours * (self.config.heartbeat_bytes + 48)
+                accounting.record_local(now, node.name, size, size, CATEGORY_OVERLAY)
+
+        self._heartbeat_timer = self.sim.schedule_periodic(
+            self.config.heartbeat_period, sweep
+        )
+
+    def stop_heartbeats(self) -> None:
+        """Stop the heartbeat sweep (end of simulation)."""
+        if self._heartbeat_timer is not None:
+            self._heartbeat_timer.cancel()
+            self._heartbeat_timer = None
+
+    # ------------------------------------------------------------------
+    # Ground truth (tests and oracle checks only — not used by protocols)
+    # ------------------------------------------------------------------
+
+    @property
+    def online_count(self) -> int:
+        """Number of currently online nodes."""
+        return len(self._online_ids)
+
+    @property
+    def online_ids(self) -> list[int]:
+        """Sorted ids of online nodes (copy)."""
+        return list(self._online_ids)
+
+    def true_closest_online(self, key: int) -> Optional[int]:
+        """The actually-closest online node to ``key`` (oracle, for tests)."""
+        if not self._online_ids:
+            return None
+        position = bisect.bisect_left(self._online_ids, key)
+        candidates = []
+        for offset in (position - 1, position, position + 1):
+            candidates.append(self._online_ids[offset % len(self._online_ids)])
+        return min(candidates, key=lambda c: (ring_distance(c, key), c))
+
+
+class _SortedView:
+    """Set-like membership view over a sorted list (no copying)."""
+
+    def __init__(self, sorted_ids: list[int]) -> None:
+        self._ids = sorted_ids
+
+    def __contains__(self, value: int) -> bool:
+        position = bisect.bisect_left(self._ids, value)
+        return position < len(self._ids) and self._ids[position] == value

@@ -1,0 +1,106 @@
+"""Pastry routing table: prefix-matched next hops.
+
+Row ``r`` holds, for each digit value ``v``, a node whose id shares the
+first ``r`` digits with the owner and has ``v`` as digit ``r``.  Routing a
+key looks up row ``common_prefix_len(owner, key)`` at the key's next
+digit, giving the expected ``O(log_2^b N)`` hop count.
+
+Entries are learned opportunistically (from join messages and passing
+traffic) and evicted lazily when a forward attempt fails — the MSPastry
+approach.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Optional
+
+from repro.overlay.ids import common_prefix_len, digit, digits_per_id
+
+
+class RoutingTable:
+    """Per-node prefix routing state."""
+
+    def __init__(self, owner: int, b: int = 4) -> None:
+        self.owner = owner
+        self.b = b
+        self.num_rows = digits_per_id(b)
+        self.num_cols = 1 << b
+        # Sparse storage: {(row, col): node_id}.  Most rows are empty in
+        # practice (only log N rows are populated), so a dict beats a
+        # dense 32x16 matrix.
+        self._entries: dict[tuple[int, int], int] = {}
+
+    def _slot(self, node_id: int) -> Optional[tuple[int, int]]:
+        if node_id == self.owner:
+            return None
+        row = common_prefix_len(self.owner, node_id, self.b)
+        col = digit(node_id, row, self.b)
+        return row, col
+
+    def add(self, node_id: int) -> bool:
+        """Install ``node_id`` if its slot is empty.  Returns True if stored."""
+        slot = self._slot(node_id)
+        if slot is None:
+            return False
+        if slot in self._entries:
+            return False
+        self._entries[slot] = node_id
+        return True
+
+    def replace(self, node_id: int) -> None:
+        """Install ``node_id``, overwriting any existing entry in its slot."""
+        slot = self._slot(node_id)
+        if slot is not None:
+            self._entries[slot] = node_id
+
+    def remove(self, node_id: int) -> bool:
+        """Evict a (presumed dead) entry.  Returns True if it was present."""
+        slot = self._slot(node_id)
+        if slot is None:
+            return False
+        if self._entries.get(slot) == node_id:
+            del self._entries[slot]
+            return True
+        return False
+
+    def lookup(self, key: int) -> Optional[int]:
+        """The routing-table next hop for ``key``, if one exists.
+
+        Returns the entry sharing a strictly longer prefix with ``key``
+        than the owner does, per the Pastry routing rule.
+        """
+        row = common_prefix_len(self.owner, key, self.b)
+        if row >= self.num_rows:
+            return None  # key == owner
+        col = digit(key, row, self.b)
+        return self._entries.get((row, col))
+
+    def closer_candidates(self, key: int) -> Iterator[int]:
+        """Fallback candidates: entries sharing at least the owner's prefix.
+
+        Used by the rare-case rule when the exact slot is empty: any known
+        node numerically closer to the key than the owner may be used.
+        """
+        row = common_prefix_len(self.owner, key, self.b)
+        for (entry_row, _), node_id in self._entries.items():
+            if entry_row >= row:
+                yield node_id
+
+    def entries(self) -> list[int]:
+        """All stored node ids."""
+        return list(self._entries.values())
+
+    def row_entries(self, row: int) -> list[int]:
+        """Entries in a single row (used to seed a joining node's table)."""
+        return [
+            node_id
+            for (entry_row, _), node_id in self._entries.items()
+            if entry_row == row
+        ]
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, node_id: int) -> bool:
+        slot = self._slot(node_id)
+        return slot is not None and self._entries.get(slot) == node_id

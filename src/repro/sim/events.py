@@ -1,0 +1,65 @@
+"""Event primitives for the discrete-event simulator.
+
+An :class:`Event` couples a firing time with a callback.  Events are
+totally ordered by ``(time, seq)`` where ``seq`` is a monotonically
+increasing tie-breaker assigned by the simulator, which makes execution
+deterministic even when many events share a timestamp.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+
+@dataclass(order=True)
+class Event:
+    """A scheduled callback in the simulation.
+
+    Attributes:
+        time: Simulated time (seconds since simulation epoch) at which the
+            event fires.
+        seq: Monotonic tie-breaker assigned at scheduling time.  Two events
+            scheduled for the same instant fire in scheduling order.
+        callback: Zero-argument callable invoked when the event fires.
+            Arguments are bound at scheduling time (see
+            :meth:`repro.sim.simulator.Simulator.schedule`).
+        cancelled: Set by :meth:`EventHandle.cancel`; cancelled events are
+            skipped by the event loop.
+    """
+
+    time: float
+    seq: int
+    callback: Callable[[], Any] = field(compare=False)
+    cancelled: bool = field(default=False, compare=False)
+
+
+class EventHandle:
+    """Handle returned by scheduling calls; allows cancellation.
+
+    Cancellation is O(1): the event is flagged and lazily discarded when it
+    reaches the head of the queue.
+    """
+
+    __slots__ = ("_event",)
+
+    def __init__(self, event: Event) -> None:
+        self._event = event
+
+    @property
+    def time(self) -> float:
+        """The simulated time at which the event is due to fire."""
+        return self._event.time
+
+    @property
+    def cancelled(self) -> bool:
+        """Whether :meth:`cancel` has been called on this handle."""
+        return self._event.cancelled
+
+    def cancel(self) -> None:
+        """Prevent the event from firing.  Idempotent."""
+        self._event.cancelled = True
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "cancelled" if self.cancelled else "pending"
+        return f"EventHandle(time={self.time!r}, {state})"

@@ -1,0 +1,246 @@
+"""A deterministic discrete-event simulator.
+
+The simulator is the substrate on which the Pastry overlay, the network
+transport, and the Seaweed protocols all run.  It is a classic calendar
+queue built on :mod:`heapq`:
+
+* events are ordered by ``(time, seq)`` so same-instant events fire in
+  scheduling order, making runs bit-reproducible for a fixed seed;
+* callbacks may schedule further events, including at the current time;
+* periodic timers are provided as a convenience and may be cancelled.
+
+Time is a float number of seconds since the *simulation epoch*.  A
+:class:`SimClock` maps simulated seconds onto wall-clock structure
+(hour-of-day, day-of-week) so that diurnal availability logic has a
+well-defined calendar.
+"""
+
+from __future__ import annotations
+
+import heapq
+import math
+from typing import Any, Callable, Iterable, Optional
+
+from repro.sim.events import Event, EventHandle
+
+SECONDS_PER_HOUR = 3600.0
+SECONDS_PER_DAY = 86400.0
+SECONDS_PER_WEEK = 7 * SECONDS_PER_DAY
+
+
+class SimulationError(RuntimeError):
+    """Raised for invalid simulator operations (e.g. scheduling in the past)."""
+
+
+class SimClock:
+    """Maps simulated seconds onto calendar structure.
+
+    The simulation epoch is anchored at ``epoch_hour`` hours into
+    ``epoch_weekday`` (0 = Monday), so hour-of-day and day-of-week are
+    well-defined for diurnal and weekly availability patterns.
+    """
+
+    def __init__(self, epoch_weekday: int = 0, epoch_hour: float = 0.0) -> None:
+        if not 0 <= epoch_weekday < 7:
+            raise ValueError(f"epoch_weekday must be in [0, 7), got {epoch_weekday}")
+        if not 0.0 <= epoch_hour < 24.0:
+            raise ValueError(f"epoch_hour must be in [0, 24), got {epoch_hour}")
+        self.epoch_weekday = epoch_weekday
+        self.epoch_hour = epoch_hour
+        self._epoch_offset = (epoch_weekday * 24.0 + epoch_hour) * SECONDS_PER_HOUR
+
+    def hour_of_day(self, t: float) -> float:
+        """Fractional hour of day in [0, 24) at simulated time ``t``."""
+        return ((t + self._epoch_offset) % SECONDS_PER_DAY) / SECONDS_PER_HOUR
+
+    def day_of_week(self, t: float) -> int:
+        """Day of week (0 = Monday .. 6 = Sunday) at simulated time ``t``."""
+        return int((t + self._epoch_offset) // SECONDS_PER_DAY) % 7
+
+    def is_weekend(self, t: float) -> bool:
+        """Whether ``t`` falls on Saturday or Sunday."""
+        return self.day_of_week(t) >= 5
+
+    def seconds_until_hour(self, t: float, hour: float) -> float:
+        """Seconds from ``t`` until the next occurrence of ``hour`` o'clock.
+
+        Returns a value in (0, 24h]; if ``t`` is exactly at ``hour`` the
+        result is a full day (the *next* occurrence).
+        """
+        now_hour = self.hour_of_day(t)
+        delta_hours = (hour - now_hour) % 24.0
+        if delta_hours <= 0.0:
+            delta_hours += 24.0
+        return delta_hours * SECONDS_PER_HOUR
+
+
+class Simulator:
+    """Deterministic discrete-event loop.
+
+    Example::
+
+        sim = Simulator()
+        sim.schedule(5.0, print, "five seconds in")
+        sim.run_until(10.0)
+    """
+
+    def __init__(self, clock: Optional[SimClock] = None) -> None:
+        self._queue: list[Event] = []
+        self._now = 0.0
+        self._seq = 0
+        self._events_processed = 0
+        self._running = False
+        self.clock = clock if clock is not None else SimClock()
+
+    @property
+    def now(self) -> float:
+        """Current simulated time in seconds."""
+        return self._now
+
+    @property
+    def events_processed(self) -> int:
+        """Total number of (non-cancelled) events executed so far."""
+        return self._events_processed
+
+    @property
+    def pending_events(self) -> int:
+        """Number of events in the queue, including cancelled ones."""
+        return len(self._queue)
+
+    def schedule(
+        self, delay: float, callback: Callable[..., Any], *args: Any, **kwargs: Any
+    ) -> EventHandle:
+        """Schedule ``callback(*args, **kwargs)`` to fire ``delay`` seconds from now."""
+        if delay < 0:
+            raise SimulationError(f"cannot schedule {delay} s in the past")
+        return self.schedule_at(self._now + delay, callback, *args, **kwargs)
+
+    def schedule_at(
+        self, time: float, callback: Callable[..., Any], *args: Any, **kwargs: Any
+    ) -> EventHandle:
+        """Schedule ``callback(*args, **kwargs)`` to fire at absolute time ``time``."""
+        if time < self._now:
+            raise SimulationError(
+                f"cannot schedule at {time} (now is {self._now})"
+            )
+        if math.isnan(time) or math.isinf(time):
+            raise SimulationError(f"invalid event time {time}")
+        if args or kwargs:
+            bound = lambda: callback(*args, **kwargs)  # noqa: E731
+        else:
+            bound = callback
+        event = Event(time=time, seq=self._seq, callback=bound)
+        self._seq += 1
+        heapq.heappush(self._queue, event)
+        return EventHandle(event)
+
+    def schedule_periodic(
+        self,
+        period: float,
+        callback: Callable[[], Any],
+        first_delay: Optional[float] = None,
+    ) -> "PeriodicTimer":
+        """Run ``callback`` every ``period`` seconds until the timer is cancelled.
+
+        ``first_delay`` defaults to ``period``; pass a randomized phase to
+        avoid system-wide synchronization spikes (the paper staggers
+        histogram pushes for exactly this reason).
+        """
+        if period <= 0:
+            raise SimulationError(f"period must be positive, got {period}")
+        return PeriodicTimer(self, period, callback, first_delay)
+
+    def step(self) -> bool:
+        """Execute the next pending event.  Returns False if the queue is empty."""
+        while self._queue:
+            event = heapq.heappop(self._queue)
+            if event.cancelled:
+                continue
+            self._now = event.time
+            self._events_processed += 1
+            event.callback()
+            return True
+        return False
+
+    def run_until(self, time: float) -> None:
+        """Run all events with firing time <= ``time``, then advance the clock to it."""
+        if time < self._now:
+            raise SimulationError(f"cannot run backwards to {time} from {self._now}")
+        while self._queue:
+            head = self._queue[0]
+            if head.cancelled:
+                heapq.heappop(self._queue)
+                continue
+            if head.time > time:
+                break
+            self.step()
+        self._now = time
+
+    def run(self, max_events: Optional[int] = None) -> int:
+        """Run until the queue drains (or ``max_events`` fire).  Returns events run."""
+        count = 0
+        while self.step():
+            count += 1
+            if max_events is not None and count >= max_events:
+                break
+        return count
+
+    def drain_cancelled(self) -> None:
+        """Compact the queue by dropping cancelled events (periodic maintenance)."""
+        live = [e for e in self._queue if not e.cancelled]
+        heapq.heapify(live)
+        self._queue = live
+
+
+class PeriodicTimer:
+    """A self-rescheduling timer created by :meth:`Simulator.schedule_periodic`."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        period: float,
+        callback: Callable[[], Any],
+        first_delay: Optional[float] = None,
+    ) -> None:
+        self._sim = sim
+        self._period = period
+        self._callback = callback
+        self._cancelled = False
+        delay = period if first_delay is None else first_delay
+        self._handle = sim.schedule(delay, self._fire)
+
+    @property
+    def cancelled(self) -> bool:
+        """Whether the timer has been cancelled."""
+        return self._cancelled
+
+    @property
+    def period(self) -> float:
+        """The timer period in seconds."""
+        return self._period
+
+    def _fire(self) -> None:
+        if self._cancelled:
+            return
+        self._callback()
+        if not self._cancelled:
+            self._handle = self._sim.schedule(self._period, self._fire)
+
+    def cancel(self) -> None:
+        """Stop the timer.  Idempotent; a pending tick is discarded."""
+        self._cancelled = True
+        self._handle.cancel()
+
+
+def merge_timelines(*timelines: Iterable[tuple[float, Any]]) -> list[tuple[float, Any]]:
+    """Merge several ``(time, value)`` sequences into one time-sorted list.
+
+    Utility for combining per-endsystem event streams (e.g. availability
+    transitions) into a global schedule before loading them into the
+    simulator.
+    """
+    merged: list[tuple[float, Any]] = []
+    for timeline in timelines:
+        merged.extend(timeline)
+    merged.sort(key=lambda pair: pair[0])
+    return merged

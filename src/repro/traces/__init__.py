@@ -1,0 +1,33 @@
+"""Endsystem availability traces.
+
+Interval-based schedules, population statistics, and the calibrated
+Farsite-like (enterprise) and Gnutella-like (high-churn) generators that
+stand in for the paper's proprietary traces.
+"""
+
+from repro.traces.availability import AvailabilitySchedule, TraceSet
+from repro.traces.farsite import (
+    FARSITE_HORIZON,
+    FARSITE_POPULATION,
+    FarsiteParams,
+    generate_farsite_trace,
+)
+from repro.traces.gnutella import (
+    GNUTELLA_HORIZON,
+    GNUTELLA_POPULATION,
+    GnutellaParams,
+    generate_gnutella_trace,
+)
+
+__all__ = [
+    "AvailabilitySchedule",
+    "FARSITE_HORIZON",
+    "FARSITE_POPULATION",
+    "FarsiteParams",
+    "GNUTELLA_HORIZON",
+    "GNUTELLA_POPULATION",
+    "GnutellaParams",
+    "TraceSet",
+    "generate_farsite_trace",
+    "generate_gnutella_trace",
+]

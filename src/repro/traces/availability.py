@@ -1,0 +1,227 @@
+"""Endsystem availability schedules and trace statistics.
+
+An :class:`AvailabilitySchedule` is the per-endsystem ground truth: the
+set of intervals during which the endsystem is up over the trace horizon.
+A :class:`TraceSet` bundles the schedules of a whole population and
+derives the statistics the paper reports (mean availability, hourly
+availability series as in Fig. 1, churn and departure rates as in
+Table 1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Optional
+
+import numpy as np
+
+from repro.sim.simulator import SECONDS_PER_HOUR, SimClock
+
+
+@dataclass
+class AvailabilitySchedule:
+    """Up intervals ``[up_starts[i], up_ends[i])`` over ``[0, horizon)``.
+
+    Intervals are sorted, disjoint, and clipped to the horizon.
+    """
+
+    up_starts: np.ndarray
+    up_ends: np.ndarray
+    horizon: float
+
+    def __post_init__(self) -> None:
+        self.up_starts = np.asarray(self.up_starts, dtype=float)
+        self.up_ends = np.asarray(self.up_ends, dtype=float)
+        if len(self.up_starts) != len(self.up_ends):
+            raise ValueError("up_starts and up_ends must have equal length")
+        if np.any(self.up_ends < self.up_starts):
+            raise ValueError("interval ends before it starts")
+        if len(self.up_starts) > 1 and np.any(
+            self.up_starts[1:] < self.up_ends[:-1]
+        ):
+            raise ValueError("intervals overlap or are unsorted")
+
+    @classmethod
+    def from_intervals(
+        cls, intervals: list[tuple[float, float]], horizon: float
+    ) -> "AvailabilitySchedule":
+        """Build from (start, end) pairs; merges touching intervals, clips."""
+        clipped = [
+            (max(0.0, start), min(horizon, end))
+            for start, end in sorted(intervals)
+            if end > 0.0 and start < horizon and end > start
+        ]
+        merged: list[tuple[float, float]] = []
+        for start, end in clipped:
+            if merged and start <= merged[-1][1]:
+                merged[-1] = (merged[-1][0], max(merged[-1][1], end))
+            else:
+                merged.append((start, end))
+        starts = np.array([s for s, _ in merged])
+        ends = np.array([e for _, e in merged])
+        return cls(starts, ends, horizon)
+
+    @classmethod
+    def always_on(cls, horizon: float) -> "AvailabilitySchedule":
+        """A schedule that is up for the entire horizon."""
+        return cls(np.array([0.0]), np.array([horizon]), horizon)
+
+    @classmethod
+    def always_off(cls, horizon: float) -> "AvailabilitySchedule":
+        """A schedule that is never up."""
+        return cls(np.array([]), np.array([]), horizon)
+
+    def is_available(self, t: float) -> bool:
+        """Whether the endsystem is up at time ``t``."""
+        index = np.searchsorted(self.up_starts, t, side="right") - 1
+        return index >= 0 and t < self.up_ends[index]
+
+    def next_available(self, t: float) -> float:
+        """Earliest time >= ``t`` at which the endsystem is up (inf if never)."""
+        index = np.searchsorted(self.up_starts, t, side="right") - 1
+        if index >= 0 and t < self.up_ends[index]:
+            return t
+        if index + 1 < len(self.up_starts):
+            return float(self.up_starts[index + 1])
+        return float("inf")
+
+    def interval_containing(self, t: float) -> Optional[tuple[float, float]]:
+        """The up interval containing ``t``, or None if down at ``t``."""
+        index = np.searchsorted(self.up_starts, t, side="right") - 1
+        if index >= 0 and t < self.up_ends[index]:
+            return float(self.up_starts[index]), float(self.up_ends[index])
+        return None
+
+    def transitions(self) -> Iterator[tuple[float, bool]]:
+        """Yields ``(time, goes_up)`` events in time order.
+
+        An interval starting at 0 yields its up event at time 0 so the
+        simulation can bring the node online at the start.
+        """
+        for start, end in zip(self.up_starts, self.up_ends):
+            yield float(start), True
+            if end < self.horizon:
+                yield float(end), False
+
+    def availability_fraction(self) -> float:
+        """Fraction of the horizon the endsystem was up."""
+        if self.horizon <= 0:
+            return 0.0
+        return float(np.sum(self.up_ends - self.up_starts)) / self.horizon
+
+    def up_time_between(self, t0: float, t1: float) -> float:
+        """Total up time within ``[t0, t1)``."""
+        lo = np.clip(self.up_starts, t0, t1)
+        hi = np.clip(self.up_ends, t0, t1)
+        return float(np.sum(np.maximum(0.0, hi - lo)))
+
+    def down_durations(self) -> np.ndarray:
+        """Lengths of the *observed* down gaps between up intervals."""
+        if len(self.up_starts) < 2:
+            return np.empty(0)
+        return self.up_starts[1:] - self.up_ends[:-1]
+
+    def up_event_times(self, include_initial: bool = True) -> np.ndarray:
+        """Times at which the endsystem came up."""
+        if include_initial or len(self.up_starts) == 0:
+            return self.up_starts.copy()
+        return self.up_starts[self.up_starts > 0]
+
+    def up_event_hours(self, clock: SimClock) -> np.ndarray:
+        """Hour-of-day (integer 0–23) of each up event."""
+        return np.array(
+            [int(clock.hour_of_day(t)) for t in self.up_event_times()], dtype=int
+        )
+
+    @property
+    def num_sessions(self) -> int:
+        """Number of distinct up intervals."""
+        return len(self.up_starts)
+
+    def departures_in(self, t0: float, t1: float) -> int:
+        """Number of down-transitions inside ``[t0, t1)``."""
+        ends = self.up_ends[self.up_ends < self.horizon]
+        return int(np.sum((ends >= t0) & (ends < t1)))
+
+
+class TraceSet:
+    """A population of availability schedules plus derived statistics."""
+
+    def __init__(self, schedules: list[AvailabilitySchedule], horizon: float) -> None:
+        if not schedules:
+            raise ValueError("trace set needs at least one schedule")
+        self.schedules = schedules
+        self.horizon = horizon
+
+    def __len__(self) -> int:
+        return len(self.schedules)
+
+    def __getitem__(self, index: int) -> AvailabilitySchedule:
+        return self.schedules[index]
+
+    def mean_availability(self) -> float:
+        """Time-averaged fraction of endsystems up (the paper's f_on)."""
+        fractions = [schedule.availability_fraction() for schedule in self.schedules]
+        return float(np.mean(fractions))
+
+    def available_count(self, t: float) -> int:
+        """Number of endsystems up at time ``t``."""
+        return sum(schedule.is_available(t) for schedule in self.schedules)
+
+    def hourly_series(
+        self, start: float = 0.0, end: Optional[float] = None
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Hourly samples of the number of available endsystems (Fig. 1).
+
+        The Farsite study probed each endsystem once per hour; we sample on
+        the hour, returning ``(times, counts)``.
+        """
+        if end is None:
+            end = self.horizon
+        times = np.arange(start, end, SECONDS_PER_HOUR)
+        counts = np.array([self.available_count(t) for t in times])
+        return times, counts
+
+    def departure_rate(self) -> float:
+        """Departures per online endsystem per second (paper: 4.06e-6 Farsite)."""
+        total_departures = sum(
+            schedule.departures_in(0.0, self.horizon) for schedule in self.schedules
+        )
+        total_online_seconds = sum(
+            schedule.up_time_between(0.0, self.horizon) for schedule in self.schedules
+        )
+        if total_online_seconds == 0:
+            return 0.0
+        return total_departures / total_online_seconds
+
+    def churn_rate(self) -> float:
+        """Transitions (join or leave) per endsystem per second (the model's c).
+
+        The model counts the rate at which a single endsystem switches
+        between available and unavailable in either direction, averaged
+        over the population and horizon.
+        """
+        total_transitions = 0
+        for schedule in self.schedules:
+            total_transitions += sum(1 for _ in schedule.transitions())
+        return total_transitions / (len(self.schedules) * self.horizon)
+
+    def subset(self, count: int, rng: np.random.Generator) -> "TraceSet":
+        """A random sample of ``count`` schedules (without replacement).
+
+        The paper's simulations randomly assign availability profiles from
+        the trace to the simulated endsystem population.
+        """
+        if count > len(self.schedules):
+            raise ValueError(
+                f"cannot sample {count} schedules from {len(self.schedules)}"
+            )
+        indices = rng.choice(len(self.schedules), size=count, replace=False)
+        return TraceSet([self.schedules[i] for i in indices], self.horizon)
+
+    def assign(self, count: int, rng: np.random.Generator) -> list[AvailabilitySchedule]:
+        """Assign ``count`` profiles, sampling with replacement if needed."""
+        if count <= len(self.schedules):
+            return self.subset(count, rng).schedules
+        indices = rng.integers(0, len(self.schedules), size=count)
+        return [self.schedules[i] for i in indices]

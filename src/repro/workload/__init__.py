@@ -1,0 +1,39 @@
+"""The Anemone network-management workload (tables, profiles, queries)."""
+
+from repro.workload.anemone import (
+    ANEMONE_PROFILES,
+    FLOW_INTERVAL,
+    AnemoneDataset,
+    AnemoneParams,
+    flow_schema,
+    packet_schema,
+)
+from repro.workload.live import LiveAnemoneFeed
+from repro.workload.queries import (
+    PAPER_QUERIES,
+    QUERY_HTTP_BYTES,
+    QUERY_HTTP_LAST_DAY,
+    QUERY_LARGE_FLOWS,
+    QUERY_PRIVILEGED_PACKETS,
+    QUERY_SMB_AVG,
+    PaperQuery,
+    paper_query,
+)
+
+__all__ = [
+    "ANEMONE_PROFILES",
+    "AnemoneDataset",
+    "AnemoneParams",
+    "FLOW_INTERVAL",
+    "LiveAnemoneFeed",
+    "PAPER_QUERIES",
+    "PaperQuery",
+    "QUERY_HTTP_BYTES",
+    "QUERY_HTTP_LAST_DAY",
+    "QUERY_LARGE_FLOWS",
+    "QUERY_PRIVILEGED_PACKETS",
+    "QUERY_SMB_AVG",
+    "flow_schema",
+    "packet_schema",
+    "paper_query",
+]

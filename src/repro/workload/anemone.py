@@ -1,0 +1,250 @@
+"""The Anemone endsystem network-management dataset.
+
+Anemone [Mortier et al., SIGCOMM MineNet 2005] captures each endsystem's
+network activity into two tables:
+
+* ``Packet`` — one row per packet: timestamp, addresses, ports, protocol,
+  direction, size;
+* ``Flow`` — a per-flow summary recorded every measurement interval
+  (5 minutes): timestamp, interval, addresses, ports, protocol,
+  application, bytes and packets.
+
+The paper builds its dataset from a 3-week packet trace of 456 hosts and
+randomly assigns one host's data to each simulated endsystem.  We generate
+the same structure synthetically: a pool of per-host *profiles* with
+log-normally distributed activity levels, diurnal flow timing, Zipf-like
+service port popularity, and heavy-tailed flow sizes, then assign profiles
+to endsystems at random exactly as the paper does.
+
+Indexed columns (these get histograms in the replicated summary): Flow has
+five — ``ts``, ``SrcPort``, ``LocalPort``, ``Bytes``, ``App`` — matching
+the paper's "5 histograms per endsystem".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.db.engine import LocalDatabase
+from repro.db.schema import ColumnType, Schema, make_schema
+from repro.sim.simulator import SECONDS_PER_DAY, SECONDS_PER_HOUR
+
+#: Number of distinct host profiles in the paper's capture.
+ANEMONE_PROFILES = 456
+#: Flow measurement interval (the paper sets 5 minutes).
+FLOW_INTERVAL = 300
+
+_SERVICES = (
+    # (port, app label, popularity weight)
+    (80, "HTTP", 0.30),
+    (443, "HTTPS", 0.15),
+    (445, "SMB", 0.12),
+    (53, "DNS", 0.10),
+    (139, "SMB", 0.04),
+    (25, "SMTP", 0.04),
+    (1433, "SQL", 0.03),
+    (3389, "RDP", 0.03),
+)
+
+
+def flow_schema() -> Schema:
+    """Schema of the ``Flow`` table."""
+    return make_schema(
+        "Flow",
+        [
+            ("ts", ColumnType.INT, True),
+            ("Interval", ColumnType.INT),
+            ("SrcIP", ColumnType.INT),
+            ("DstIP", ColumnType.INT),
+            ("SrcPort", ColumnType.INT, True),
+            ("DstPort", ColumnType.INT),
+            ("LocalPort", ColumnType.INT, True),
+            ("Protocol", ColumnType.INT),
+            ("App", ColumnType.STR, True),
+            ("Bytes", ColumnType.INT, True),
+            ("Packets", ColumnType.INT),
+        ],
+    )
+
+
+def packet_schema() -> Schema:
+    """Schema of the ``Packet`` table."""
+    return make_schema(
+        "Packet",
+        [
+            ("ts", ColumnType.INT, True),
+            ("SrcIP", ColumnType.INT),
+            ("DstIP", ColumnType.INT),
+            ("SrcPort", ColumnType.INT, True),
+            ("DstPort", ColumnType.INT),
+            ("Protocol", ColumnType.INT),
+            ("Direction", ColumnType.STR),
+            ("Size", ColumnType.INT, True),
+        ],
+    )
+
+
+@dataclass
+class AnemoneParams:
+    """Workload generator knobs."""
+
+    #: Mean flow records per host per day (before per-host level scaling).
+    flows_per_day: float = 120.0
+    #: Log-normal sigma of the per-host activity level multiplier.
+    host_level_sigma: float = 1.0
+    #: Days of data stored per endsystem (the paper stores ~1 month).
+    days: float = 21.0
+    #: Fraction of flows whose timestamp falls in working hours (9–18).
+    work_hours_weight: float = 0.7
+    #: Log-normal parameters of flow byte counts.
+    bytes_mu: float = 8.5  # median ~4.9 KB
+    bytes_sigma: float = 2.0
+    #: Packet rows generated per flow row (sampled, to bound memory).
+    packets_per_flow: float = 2.0
+    #: Service weights; remainder is ephemeral high ports.
+    services: tuple = field(default=_SERVICES)
+
+
+class AnemoneDataset:
+    """A pool of per-host Anemone databases (profiles).
+
+    Profiles are generated eagerly and assigned to endsystems by index;
+    ``assign_profiles`` reproduces the paper's random assignment.
+    """
+
+    def __init__(
+        self,
+        num_profiles: int = ANEMONE_PROFILES,
+        params: AnemoneParams | None = None,
+        rng: np.random.Generator | None = None,
+    ) -> None:
+        if num_profiles <= 0:
+            raise ValueError("need at least one profile")
+        self.params = params if params is not None else AnemoneParams()
+        self._rng = rng if rng is not None else np.random.default_rng(0)
+        self.num_profiles = num_profiles
+        self.databases: list[LocalDatabase] = [
+            self._generate_profile(index) for index in range(num_profiles)
+        ]
+
+    def database(self, profile: int) -> LocalDatabase:
+        """The local database for profile ``profile``."""
+        return self.databases[profile]
+
+    def assign_profiles(
+        self, num_endsystems: int, rng: np.random.Generator
+    ) -> np.ndarray:
+        """Random profile index per endsystem (the paper's assignment)."""
+        return rng.integers(0, self.num_profiles, size=num_endsystems)
+
+    def mean_database_bytes(self) -> float:
+        """Average per-profile data size (the analytic model's ``d``)."""
+        return float(np.mean([db.total_bytes() for db in self.databases]))
+
+    # ------------------------------------------------------------------
+    # Generation
+    # ------------------------------------------------------------------
+
+    def _generate_profile(self, index: int) -> LocalDatabase:
+        params = self.params
+        rng = self._rng
+        database = LocalDatabase()
+        database.create_table(flow_schema())
+        database.create_table(packet_schema())
+
+        level = float(rng.lognormal(0.0, params.host_level_sigma))
+        num_flows = max(1, int(rng.poisson(params.flows_per_day * params.days * level)))
+        host_ip = 0x0A000000 + index  # 10.0.0.0/8 addressing
+
+        ts = self._diurnal_timestamps(num_flows, params.days, rng)
+        ports, apps = self._service_ports(num_flows, rng)
+        # Direction: roughly half the flows are outbound client connections
+        # (local ephemeral port), half are inbound to a local service.
+        outbound = rng.random(num_flows) < 0.5
+        ephemeral = rng.integers(1024, 65536, size=num_flows)
+        src_port = np.where(outbound, ephemeral, ports)
+        dst_port = np.where(outbound, ports, ephemeral)
+        local_port = np.where(outbound, ephemeral, ports)
+        # A slice of system daemons listen on privileged ports locally.
+        privileged = rng.random(num_flows) < 0.15
+        local_port = np.where(
+            privileged, rng.integers(1, 1024, size=num_flows), local_port
+        )
+        flow_bytes = rng.lognormal(params.bytes_mu, params.bytes_sigma, num_flows)
+        flow_bytes = np.maximum(64, flow_bytes).astype(np.int64)
+        packets = np.maximum(1, flow_bytes // 1400 + rng.poisson(2, num_flows))
+        peer_ip = rng.integers(0x0A000000, 0x0AFFFFFF, size=num_flows)
+
+        database.load(
+            "Flow",
+            {
+                "ts": ts,
+                "Interval": np.full(num_flows, FLOW_INTERVAL),
+                "SrcIP": np.where(outbound, host_ip, peer_ip),
+                "DstIP": np.where(outbound, peer_ip, host_ip),
+                "SrcPort": src_port,
+                "DstPort": dst_port,
+                "LocalPort": local_port,
+                "Protocol": np.where(rng.random(num_flows) < 0.9, 6, 17),
+                "App": apps,
+                "Bytes": flow_bytes,
+                "Packets": packets,
+            },
+        )
+
+        # Packet table: a sampled packet population consistent with flows.
+        num_packets = max(1, int(num_flows * params.packets_per_flow))
+        packet_choice = rng.integers(0, num_flows, size=num_packets)
+        jitter = rng.uniform(0, FLOW_INTERVAL, size=num_packets)
+        sizes = np.minimum(
+            1500, np.maximum(40, rng.lognormal(6.0, 1.0, num_packets))
+        ).astype(np.int64)
+        database.load(
+            "Packet",
+            {
+                "ts": (ts[packet_choice] + jitter).astype(np.int64),
+                "SrcIP": np.where(outbound[packet_choice], host_ip, peer_ip[packet_choice]),
+                "DstIP": np.where(outbound[packet_choice], peer_ip[packet_choice], host_ip),
+                "SrcPort": src_port[packet_choice],
+                "DstPort": dst_port[packet_choice],
+                "Protocol": np.where(rng.random(num_packets) < 0.9, 6, 17),
+                "Direction": np.where(outbound[packet_choice], "Tx", "Rx").astype(object),
+                "Size": sizes,
+            },
+        )
+        return database
+
+    def _diurnal_timestamps(
+        self, count: int, days: float, rng: np.random.Generator
+    ) -> np.ndarray:
+        """Timestamps spread over ``days`` with a working-hours bias."""
+        day = rng.uniform(0.0, days, size=count)
+        in_work = rng.random(count) < self.params.work_hours_weight
+        work_hour = rng.uniform(9.0, 18.0, size=count)
+        any_hour = rng.uniform(0.0, 24.0, size=count)
+        hour = np.where(in_work, work_hour, any_hour)
+        ts = np.floor(day) * SECONDS_PER_DAY + hour * SECONDS_PER_HOUR
+        return ts.astype(np.int64)
+
+    def _service_ports(
+        self, count: int, rng: np.random.Generator
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Service port and application label per flow."""
+        services = self.params.services
+        weights = np.array([weight for _, _, weight in services])
+        other_weight = max(0.0, 1.0 - weights.sum())
+        probabilities = np.concatenate([weights, [other_weight]])
+        probabilities = probabilities / probabilities.sum()
+        choice = rng.choice(len(services) + 1, size=count, p=probabilities)
+        ports = np.empty(count, dtype=np.int64)
+        apps = np.empty(count, dtype=object)
+        for service_index, (port, app, _) in enumerate(services):
+            mask = choice == service_index
+            ports[mask] = port
+            apps[mask] = app
+        other = choice == len(services)
+        ports[other] = rng.integers(1024, 49152, size=int(other.sum()))
+        apps[other] = "Other"
+        return ports, apps

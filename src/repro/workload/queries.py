@@ -1,0 +1,56 @@
+"""The paper's evaluation queries (Figures 5-8).
+
+Four one-shot aggregate queries over the Anemone ``Flow`` table, each a
+single-column selection a network operator would plausibly run:
+
+* Fig. 5 — total HTTP traffic;
+* Fig. 6 — number of flows with significant traffic;
+* Fig. 7 — average per-flow SMB traffic;
+* Fig. 8 — packets on privileged ports.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.db.sql import ParsedQuery, parse
+
+QUERY_HTTP_BYTES = "SELECT SUM(Bytes) FROM Flow WHERE SrcPort = 80"
+QUERY_LARGE_FLOWS = "SELECT COUNT(*) FROM Flow WHERE Bytes > 20000"
+QUERY_SMB_AVG = "SELECT AVG(Bytes) FROM Flow WHERE App = 'SMB'"
+QUERY_PRIVILEGED_PACKETS = "SELECT SUM(Packets) FROM Flow WHERE LocalPort < 1024"
+
+#: Fig. 5's variant with a time window relative to injection time.
+QUERY_HTTP_LAST_DAY = (
+    "SELECT SUM(Bytes) FROM Flow "
+    "WHERE SrcPort = 80 AND ts <= NOW() AND ts >= NOW() - 86400"
+)
+
+
+@dataclass(frozen=True)
+class PaperQuery:
+    """A named evaluation query."""
+
+    figure: str
+    description: str
+    sql: str
+
+    def parse(self, now: float | None = None) -> ParsedQuery:
+        """Parse with an optional NOW() binding."""
+        return parse(self.sql, now=now)
+
+
+PAPER_QUERIES: tuple[PaperQuery, ...] = (
+    PaperQuery("Fig5", "total HTTP traffic", QUERY_HTTP_BYTES),
+    PaperQuery("Fig6", "flows with significant traffic", QUERY_LARGE_FLOWS),
+    PaperQuery("Fig7", "average per-flow SMB traffic", QUERY_SMB_AVG),
+    PaperQuery("Fig8", "packets on privileged ports", QUERY_PRIVILEGED_PACKETS),
+)
+
+
+def paper_query(figure: str) -> PaperQuery:
+    """Look up a paper query by figure label (e.g. ``"Fig5"``)."""
+    for query in PAPER_QUERIES:
+        if query.figure == figure:
+            return query
+    raise KeyError(f"no paper query for {figure!r}")

@@ -1,0 +1,71 @@
+"""Tests for the distributed-index trade-off model (§1.3)."""
+
+import pytest
+
+from repro.analysis.indexes import (
+    IndexParameters,
+    breakeven_query_rate,
+    broadcast_query_cost,
+    index_maintenance_cost,
+    index_query_cost,
+    total_bandwidth,
+)
+from repro.analysis.parameters import TABLE1
+
+
+class TestCosts:
+    def test_broadcast_cost_linear_in_population(self):
+        small = TABLE1.with_overrides(num_endsystems=1e4)
+        large = TABLE1.with_overrides(num_endsystems=1e5)
+        index = IndexParameters()
+        ratio = broadcast_query_cost(large, index) / broadcast_query_cost(small, index)
+        assert ratio == pytest.approx(10.0)
+
+    def test_index_query_cheaper_for_selective_workloads(self):
+        index = IndexParameters(selectivity_fraction=0.05)
+        assert index_query_cost(TABLE1, index) < broadcast_query_cost(TABLE1, index)
+
+    def test_index_query_not_cheaper_when_everything_matches(self):
+        index = IndexParameters(selectivity_fraction=1.0)
+        assert index_query_cost(TABLE1, index) >= broadcast_query_cost(TABLE1, index)
+
+    def test_maintenance_scales_with_update_rate(self):
+        index = IndexParameters()
+        chatty = TABLE1.with_overrides(update_rate=TABLE1.update_rate * 10)
+        assert index_maintenance_cost(chatty, index) == pytest.approx(
+            10 * index_maintenance_cost(TABLE1, index)
+        )
+
+
+class TestBreakeven:
+    def test_paper_conclusion_for_human_operators(self):
+        """At human query rates the broadcast design wins decisively."""
+        crossover = breakeven_query_rate()
+        # A handful of administrators issuing one-shot queries: well
+        # under one query per second.
+        human_rate = 10.0 / 3600.0  # ten queries an hour
+        assert human_rate < crossover
+        assert total_bandwidth(human_rate, "broadcast") < total_bandwidth(
+            human_rate, "index"
+        )
+
+    def test_index_wins_at_high_query_rates(self):
+        crossover = breakeven_query_rate()
+        assert crossover != float("inf")
+        high_rate = crossover * 10
+        assert total_bandwidth(high_rate, "index") < total_bandwidth(
+            high_rate, "broadcast"
+        )
+
+    def test_crossover_is_the_equality_point(self):
+        crossover = breakeven_query_rate()
+        at = lambda design: total_bandwidth(crossover, design)
+        assert at("broadcast") == pytest.approx(at("index"), rel=1e-9)
+
+    def test_unselective_index_never_wins(self):
+        index = IndexParameters(selectivity_fraction=1.0)
+        assert breakeven_query_rate(index=index) == float("inf")
+
+    def test_unknown_design_rejected(self):
+        with pytest.raises(ValueError):
+            total_bandwidth(1.0, "quantum")

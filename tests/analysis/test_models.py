@@ -1,0 +1,130 @@
+"""Tests for the analytic cost models (Eqs. 1-4)."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.models import (
+    MODELS,
+    centralized_overhead,
+    centralized_seaweed_crossover,
+    dht_replicated_overhead,
+    logspace_sweep,
+    pier_overhead,
+    seaweed_overhead,
+    sweep,
+)
+from repro.analysis.parameters import SMALL_DB, TABLE1, ModelParameters
+
+
+class TestFormulas:
+    def test_centralized_eq1(self):
+        params = ModelParameters(
+            num_endsystems=1000, fraction_online=0.5, update_rate=100.0
+        )
+        assert centralized_overhead(params) == 0.5 * 1000 * 100.0
+
+    def test_seaweed_eq2(self):
+        params = ModelParameters(
+            num_endsystems=1000,
+            fraction_online=0.8,
+            churn_rate=1e-5,
+            replicas=4,
+            summary_size=6000,
+            availability_model_size=48,
+            push_rate=0.01,
+        )
+        push = 0.8 * 1000 * 4 * 0.01 * 6000
+        churn = (1 / 0.8) * 1000 * 1e-5 * 4 * 6048
+        assert seaweed_overhead(params) == pytest.approx(push + churn)
+
+    def test_dht_eq3(self):
+        params = ModelParameters(
+            num_endsystems=1000,
+            fraction_online=0.8,
+            churn_rate=1e-5,
+            replicas=3,
+            update_rate=50.0,
+            database_size=1e6,
+        )
+        fresh = 0.8 * 1000 * 3 * 50.0
+        churn = (1 / 0.8) * 1000 * 1e-5 * 3 * 1e6
+        assert dht_replicated_overhead(params) == pytest.approx(fresh + churn)
+
+    def test_pier_eq4(self):
+        params = ModelParameters(
+            num_endsystems=1000,
+            fraction_online=0.9,
+            database_size=1e6,
+            pier_refresh_rate=1 / 300.0,
+        )
+        assert pier_overhead(params) == pytest.approx(0.9 * 1000 * 1e6 / 300.0)
+
+
+class TestRelationships:
+    def test_seaweed_cheapest_distributed_design_at_defaults(self):
+        seaweed = seaweed_overhead(TABLE1)
+        assert seaweed < dht_replicated_overhead(TABLE1)
+        assert seaweed < pier_overhead(TABLE1)
+        assert seaweed < centralized_overhead(TABLE1)
+
+    def test_crossover_solves_equality(self):
+        crossover = centralized_seaweed_crossover(TABLE1)
+        at_crossover = TABLE1.with_overrides(update_rate=crossover)
+        assert centralized_overhead(at_crossover) == pytest.approx(
+            seaweed_overhead(at_crossover)
+        )
+
+    def test_centralized_wins_at_low_update_rates(self):
+        assert centralized_overhead(SMALL_DB) < seaweed_overhead(SMALL_DB)
+
+    def test_seaweed_independent_of_data_size(self):
+        big = TABLE1.with_overrides(database_size=1e12)
+        assert seaweed_overhead(big) == seaweed_overhead(TABLE1)
+
+    def test_pier_independent_of_churn(self):
+        stormy = TABLE1.with_overrides(churn_rate=1.0)
+        assert pier_overhead(stormy) == pier_overhead(TABLE1)
+
+
+class TestSweep:
+    def test_sweep_series_keys(self):
+        series = sweep(TABLE1, "u", [1.0, 10.0])
+        assert set(series) == {
+            "centralized",
+            "seaweed",
+            "dht-replicated",
+            "pier-5min",
+            "pier-1h",
+        }
+
+    def test_sweep_lengths(self):
+        values = logspace_sweep(1, 100, 7)
+        series = sweep(TABLE1, "N", values)
+        assert all(len(v) == 7 for v in series.values())
+
+    def test_sweep_accepts_short_names(self):
+        by_short = sweep(TABLE1, "c", [1e-6])
+        by_attr = sweep(TABLE1, "churn_rate", [1e-6])
+        for name in by_short:
+            assert by_short[name][0] == by_attr[name][0]
+
+    def test_logspace_endpoints(self):
+        values = logspace_sweep(1.0, 1000.0, 4)
+        assert values[0] == pytest.approx(1.0)
+        assert values[-1] == pytest.approx(1000.0)
+
+    def test_models_registry(self):
+        assert set(MODELS) == {"centralized", "seaweed", "dht-replicated", "pier"}
+        for model in MODELS.values():
+            assert model(TABLE1) > 0
+
+
+class TestParameters:
+    def test_with_overrides_is_copy(self):
+        modified = TABLE1.with_overrides(num_endsystems=5)
+        assert TABLE1.num_endsystems == 300_000
+        assert modified.num_endsystems == 5
+
+    def test_frozen(self):
+        with pytest.raises(AttributeError):
+            TABLE1.num_endsystems = 1

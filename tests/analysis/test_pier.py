@@ -1,0 +1,42 @@
+"""Tests for the PIER availability decay model (Table 2)."""
+
+import math
+
+import pytest
+
+from repro.analysis.pier import PAPER_TABLE2, TABLE2_AGES, pier_availability, table2
+
+
+class TestDecay:
+    def test_fresh_is_fully_available(self):
+        assert pier_availability(1e-5, 0.0) == 1.0
+
+    def test_exponential_form(self):
+        c, t = 2e-5, 5000.0
+        assert pier_availability(c, t) == pytest.approx(math.exp(-c * t))
+
+    def test_monotone_in_age(self):
+        ages = [0.0, 100.0, 1000.0, 10000.0]
+        values = [pier_availability(1e-4, age) for age in ages]
+        assert values == sorted(values, reverse=True)
+
+    def test_negative_age_rejected(self):
+        with pytest.raises(ValueError):
+            pier_availability(1e-5, -1.0)
+
+
+class TestTable2:
+    def test_structure(self):
+        results = table2()
+        assert set(results) == {"Farsite", "Gnutella"}
+        assert all(len(values) == len(TABLE2_AGES) for values in results.values())
+
+    def test_gnutella_matches_paper_closely(self):
+        results = table2()
+        for measured, paper in zip(results["Gnutella"], PAPER_TABLE2["Gnutella"]):
+            assert measured == pytest.approx(paper, abs=0.01)
+
+    def test_enterprise_beats_p2p_at_every_age(self):
+        results = table2()
+        for farsite, gnutella in zip(results["Farsite"], results["Gnutella"]):
+            assert farsite > gnutella

@@ -1,0 +1,55 @@
+"""Shared fixtures for the Seaweed test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.db.engine import LocalDatabase
+from repro.db.schema import ColumnType, make_schema
+from repro.workload.anemone import AnemoneDataset, AnemoneParams
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    """A deterministic random generator."""
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def flow_db(rng: np.random.Generator) -> LocalDatabase:
+    """A small single-table database with realistic Flow-like columns."""
+    db = LocalDatabase()
+    db.create_table(
+        make_schema(
+            "Flow",
+            [
+                ("ts", ColumnType.INT, True),
+                ("SrcPort", ColumnType.INT, True),
+                ("Bytes", ColumnType.INT, True),
+                ("App", ColumnType.STR, True),
+                ("Packets", ColumnType.INT),
+            ],
+        )
+    )
+    n = 5000
+    db.load(
+        "Flow",
+        {
+            "ts": rng.integers(0, 86400 * 7, n),
+            "SrcPort": rng.choice([80, 443, 445, 53, 30000], n),
+            "Bytes": np.maximum(64, rng.exponential(8000, n)).astype(np.int64),
+            "App": rng.choice(["HTTP", "SMB", "DNS", "Other"], n).astype(object),
+            "Packets": rng.integers(1, 100, n),
+        },
+    )
+    return db
+
+
+@pytest.fixture(scope="session")
+def small_dataset() -> AnemoneDataset:
+    """A small shared Anemone dataset (kept light for test speed)."""
+    params = AnemoneParams(flows_per_day=40.0, days=7.0)
+    return AnemoneDataset(
+        num_profiles=8, params=params, rng=np.random.default_rng(777)
+    )

@@ -1,0 +1,29 @@
+"""Tests for Seaweed configuration validation."""
+
+import pytest
+
+from repro.core.config import SeaweedConfig
+
+
+class TestConfig:
+    def test_paper_defaults(self):
+        config = SeaweedConfig()
+        assert config.overlay.b == 4
+        assert config.overlay.leafset_size == 8
+        assert config.overlay.heartbeat_period == 30.0
+        assert config.metadata_replicas == 8
+        assert config.vertex_backups == 3
+        assert config.summary_push_period == pytest.approx(17.5 * 60.0)
+        assert config.periodic_threshold == 2.0
+
+    def test_invalid_replicas(self):
+        with pytest.raises(ValueError):
+            SeaweedConfig(metadata_replicas=0)
+
+    def test_invalid_backups(self):
+        with pytest.raises(ValueError):
+            SeaweedConfig(vertex_backups=-1)
+
+    def test_invalid_push_period(self):
+        with pytest.raises(ValueError):
+            SeaweedConfig(summary_push_period=0.0)

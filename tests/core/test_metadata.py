@@ -1,0 +1,97 @@
+"""Tests for endsystem metadata and the metadata store."""
+
+import numpy as np
+import pytest
+
+from repro.core.availability_model import AvailabilityModel
+from repro.core.metadata import EndsystemMetadata, MetadataStore
+from repro.db.sql import parse
+
+
+@pytest.fixture
+def metadata(flow_db):
+    return EndsystemMetadata.build(
+        owner=1234, database=flow_db, availability=AvailabilityModel(), version=1
+    )
+
+
+class TestEndsystemMetadata:
+    def test_build_covers_indexed_columns(self, metadata):
+        assert set(metadata.summaries["flow"]) == {"ts", "srcport", "bytes", "app"}
+
+    def test_row_counts(self, metadata, flow_db):
+        assert metadata.row_counts["flow"] == flow_db.total_rows("Flow")
+
+    def test_estimate_matches_exact(self, metadata, flow_db):
+        query = parse("SELECT COUNT(*) FROM Flow WHERE Bytes > 20000")
+        estimate = metadata.estimate_rows(query)
+        exact = flow_db.relevant_row_count(query)
+        assert estimate == pytest.approx(exact, rel=0.05)
+
+    def test_estimate_unknown_table_zero(self, metadata):
+        assert metadata.estimate_rows(parse("SELECT COUNT(*) FROM Nope")) == 0.0
+
+    def test_wire_size_components(self, metadata):
+        assert metadata.wire_size() == metadata.summary_bytes() + 48
+        assert metadata.summary_bytes() > 100
+
+    def test_summary_orders_of_magnitude_below_data(self, metadata, flow_db):
+        # The design's core premise: metadata << data.
+        assert metadata.wire_size() * 20 < flow_db.total_bytes()
+
+
+class TestMetadataStore:
+    def test_store_and_get(self, metadata):
+        store = MetadataStore()
+        assert store.store(metadata, now=10.0)
+        record = store.get(1234)
+        assert record.metadata is metadata
+        assert record.refreshed_at == 10.0
+        assert record.down_since is None
+
+    def test_stale_version_rejected(self, metadata, flow_db):
+        store = MetadataStore()
+        newer = EndsystemMetadata.build(
+            owner=1234, database=flow_db, availability=AvailabilityModel(), version=5
+        )
+        store.store(newer, now=1.0)
+        assert not store.store(metadata, now=2.0)  # version 1 < 5
+        assert store.get(1234).metadata.version == 5
+
+    def test_mark_down_and_up(self, metadata):
+        store = MetadataStore()
+        store.store(metadata, now=0.0)
+        store.mark_down(1234, 50.0)
+        assert store.get(1234).down_since == 50.0
+        store.mark_down(1234, 80.0)  # first observation wins
+        assert store.get(1234).down_since == 50.0
+        store.mark_up(1234)
+        assert store.get(1234).down_since is None
+
+    def test_mark_down_unknown_owner_noop(self):
+        store = MetadataStore()
+        store.mark_down(999, 1.0)  # silently ignored
+
+    def test_owners_in_range(self, flow_db):
+        store = MetadataStore()
+        for owner in (10, 20, 30):
+            store.store(
+                EndsystemMetadata.build(
+                    owner=owner, database=flow_db, availability=AvailabilityModel()
+                ),
+                now=0.0,
+            )
+        assert sorted(store.owners_in_range(15, 35)) == [20, 30]
+        assert sorted(store.owners_in_range(0, 0)) == [10, 20, 30]  # full range
+
+    def test_drop(self, metadata):
+        store = MetadataStore()
+        store.store(metadata, now=0.0)
+        store.drop(1234)
+        assert 1234 not in store
+        assert len(store) == 0
+
+    def test_total_bytes(self, metadata):
+        store = MetadataStore()
+        store.store(metadata, now=0.0)
+        assert store.total_bytes() == metadata.wire_size()

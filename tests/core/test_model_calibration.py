@@ -1,0 +1,87 @@
+"""Statistical calibration of availability prediction against real traces.
+
+The completeness predictor is only as good as the availability models;
+these tests train models on the first weeks of a Farsite-like trace and
+measure how well predicted next-up times match reality afterwards —
+directly probing the paper's "main source of error" (§4.3.2).
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.availability_model import AvailabilityModel
+from repro.sim import SECONDS_PER_DAY, SECONDS_PER_HOUR, SimClock
+from repro.traces import generate_farsite_trace
+
+
+@pytest.fixture(scope="module")
+def trained():
+    clock = SimClock()
+    trace = generate_farsite_trace(
+        400, horizon=28 * SECONDS_PER_DAY, rng=np.random.default_rng(41)
+    )
+    split = 21 * SECONDS_PER_DAY
+    models = []
+    for schedule in trace.schedules:
+        model = AvailabilityModel()
+        model.learn_from_schedule(schedule.up_starts, schedule.up_ends, clock, split)
+        models.append(model)
+    return trace, models, clock, split
+
+
+class TestCalibration:
+    def test_office_machines_classified_periodic(self, trained):
+        trace, models, clock, split = trained
+        periodic = sum(model.is_periodic() for model in models)
+        # Office desktops (~25% of the population) have concentrated
+        # morning up-events; servers and flaky hosts do not.
+        assert 0.10 * len(models) < periodic < 0.60 * len(models)
+
+    def test_median_prediction_error_small(self, trained):
+        """For endsystems down at the probe time, compare predicted vs
+        true next-up delay."""
+        trace, models, clock, split = trained
+        probe = split + 26 * SECONDS_PER_HOUR  # Tuesday 02:00 of week 4
+        errors = []
+        for schedule, model in zip(trace.schedules, models):
+            if schedule.is_available(probe):
+                continue
+            true_up = schedule.next_available(probe)
+            if not np.isfinite(true_up):
+                continue
+            index = int(np.searchsorted(schedule.up_starts, probe, side="right")) - 1
+            down_since = float(schedule.up_ends[index]) if index >= 0 else 0.0
+            prediction = model.predict(probe, down_since, clock)
+            predicted_delay = prediction.expected_time() - probe
+            true_delay = true_up - probe
+            errors.append(abs(predicted_delay - true_delay))
+        assert len(errors) > 10
+        median_error = float(np.median(errors))
+        # Median prediction error within a few hours — the scale that
+        # keeps the completeness predictor's log-time buckets accurate.
+        assert median_error < 6 * SECONDS_PER_HOUR
+
+    def test_periodic_machines_predicted_to_morning(self, trained):
+        trace, models, clock, split = trained
+        probe = split + 27 * SECONDS_PER_HOUR  # Tuesday 03:00
+        morning_hits = 0
+        total = 0
+        for schedule, model in zip(trace.schedules, models):
+            if not model.is_periodic() or schedule.is_available(probe):
+                continue
+            prediction = model.predict(probe, probe - SECONDS_PER_HOUR, clock)
+            hour = clock.hour_of_day(prediction.expected_time())
+            total += 1
+            if 5.0 <= hour <= 13.0:
+                morning_hits += 1
+        if total == 0:
+            pytest.skip("no periodic machines down at probe time")
+        assert morning_hits / total > 0.7
+
+    def test_prediction_weights_normalized(self, trained):
+        trace, models, clock, split = trained
+        probe = split + 30 * SECONDS_PER_HOUR
+        for model in models[:50]:
+            prediction = model.predict(probe, probe - 3600.0, clock)
+            assert prediction.weights.sum() == pytest.approx(1.0)
+            assert (prediction.times > probe).all()

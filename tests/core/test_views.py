@@ -1,0 +1,129 @@
+"""Tests for selective replication (materialized views in metadata)."""
+
+import numpy as np
+import pytest
+
+from repro.core import SeaweedConfig, SeaweedSystem
+from repro.core.availability_model import AvailabilityModel
+from repro.core.metadata import EndsystemMetadata
+from repro.core.views import ViewSpec, materialize_views, normalize_sql
+from repro.db.sql import parse
+from repro.traces import AvailabilitySchedule, TraceSet
+from repro.workload import QUERY_HTTP_BYTES
+
+HTTP_VIEW = ViewSpec("http-bytes", QUERY_HTTP_BYTES)
+
+
+class TestViewSpec:
+    def test_normalization(self):
+        assert normalize_sql("SELECT  SUM(Bytes)\n FROM flow") == (
+            "select sum(bytes) from flow"
+        )
+
+    def test_matches_modulo_whitespace_and_case(self):
+        assert HTTP_VIEW.matches("select sum(bytes) from flow where srcport = 80")
+        assert not HTTP_VIEW.matches("SELECT COUNT(*) FROM Flow")
+
+    def test_projection_view_rejected(self):
+        with pytest.raises(ValueError):
+            ViewSpec("bad", "SELECT ts FROM Flow")
+
+
+class TestMaterialization:
+    def test_results_match_direct_execution(self, flow_db):
+        views = materialize_views((HTTP_VIEW,), flow_db, now=5.0)
+        stored = views["http-bytes"]
+        direct = flow_db.execute(parse(QUERY_HTTP_BYTES))
+        assert stored.row_count == direct.row_count
+        assert stored.to_query_result().values() == direct.values()
+        assert stored.computed_at == 5.0
+
+    def test_metadata_carries_views(self, flow_db):
+        metadata = EndsystemMetadata.build(
+            owner=1,
+            database=flow_db,
+            availability=AvailabilityModel(),
+            view_specs=(HTTP_VIEW,),
+        )
+        assert "http-bytes" in metadata.views
+
+    def test_view_adds_to_summary_size(self, flow_db):
+        without = EndsystemMetadata.build(
+            owner=1, database=flow_db, availability=AvailabilityModel()
+        )
+        with_view = EndsystemMetadata.build(
+            owner=1,
+            database=flow_db,
+            availability=AvailabilityModel(),
+            view_specs=(HTTP_VIEW,),
+        )
+        assert with_view.summary_bytes() > without.summary_bytes()
+
+    def test_matching_query_estimated_exactly(self, flow_db):
+        metadata = EndsystemMetadata.build(
+            owner=1,
+            database=flow_db,
+            availability=AvailabilityModel(),
+            view_specs=(HTTP_VIEW,),
+        )
+        query = parse("select sum(bytes) from flow where srcport = 80")
+        exact = flow_db.relevant_row_count(query)
+        assert metadata.estimate_rows(query) == float(exact)
+
+    def test_non_matching_query_uses_histograms(self, flow_db):
+        metadata = EndsystemMetadata.build(
+            owner=1,
+            database=flow_db,
+            availability=AvailabilityModel(),
+            view_specs=(HTTP_VIEW,),
+        )
+        query = parse("SELECT COUNT(*) FROM Flow WHERE Bytes > 20000")
+        estimate = metadata.estimate_rows(query)
+        exact = flow_db.relevant_row_count(query)
+        assert estimate == pytest.approx(exact, rel=0.1)
+
+
+class TestDeployedViews:
+    @pytest.fixture(scope="class")
+    def system(self, small_dataset):
+        horizon = 2 * 3600.0
+        schedules = [AvailabilitySchedule.always_on(horizon) for _ in range(20)]
+        trace = TraceSet(schedules, horizon)
+        config = SeaweedConfig(views=(HTTP_VIEW,))
+        system = SeaweedSystem(
+            trace,
+            small_dataset,
+            num_endsystems=20,
+            config=config,
+            master_seed=21,
+            startup_stagger=15.0,
+        )
+        system.run_until(180.0)
+        return system
+
+    def test_replicas_hold_view_results(self, system):
+        held_views = 0
+        for node in system.nodes:
+            for owner in node.metadata_store.owners():
+                record = node.metadata_store.get(owner)
+                if "http-bytes" in record.metadata.views:
+                    held_views += 1
+        assert held_views > 20  # several replicas each
+
+    def test_local_view_answer_matches_neighbourhood(self, system):
+        node = system.nodes[0]
+        answer, contributors = node.answer_view_locally("http-bytes")
+        assert contributors >= 2
+        # The neighbourhood answer equals the direct sum over those nodes.
+        expected = node.database.execute(parse(QUERY_HTTP_BYTES))
+        for owner in node.metadata_store.owners():
+            if owner == node.node_id:
+                continue
+            other = system.node_by_id(owner)
+            expected = expected.merge(other.database.execute(parse(QUERY_HTTP_BYTES)))
+        assert answer.row_count == expected.row_count
+        assert answer.values() == expected.values()
+
+    def test_unknown_view_raises(self, system):
+        with pytest.raises(KeyError):
+            system.nodes[0].answer_view_locally("nope")

@@ -1,0 +1,63 @@
+"""Tests for database/table cloning (private per-endsystem data)."""
+
+import numpy as np
+
+from repro.db.engine import LocalDatabase
+from repro.db.schema import ColumnType, make_schema
+
+
+def make_db() -> LocalDatabase:
+    db = LocalDatabase()
+    db.create_table(make_schema("t", [("a", ColumnType.INT), ("s", ColumnType.STR)]))
+    db.load("t", {"a": [1, 2, 3], "s": ["x", "y", "z"]})
+    return db
+
+
+class TestClone:
+    def test_clone_preserves_contents(self):
+        original = make_db()
+        copy = original.clone()
+        assert copy.total_rows("t") == 3
+        assert list(copy.table("t").column("a")) == [1, 2, 3]
+
+    def test_clone_preserves_generation(self):
+        original = make_db()
+        assert original.clone().generation == original.generation
+
+    def test_writes_to_clone_do_not_affect_original(self):
+        original = make_db()
+        copy = original.clone()
+        copy.insert("t", {"a": 4, "s": "w"})
+        assert copy.total_rows("t") == 4
+        assert original.total_rows("t") == 3
+
+    def test_writes_to_original_do_not_affect_clone(self):
+        original = make_db()
+        copy = original.clone()
+        original.insert("t", {"a": 9, "s": "q"})
+        assert copy.total_rows("t") == 3
+
+    def test_column_arrays_are_independent(self):
+        original = make_db()
+        copy = original.clone()
+        original.table("t").column("a")[0] = 99
+        assert copy.table("t").column("a")[0] == 1
+
+    def test_clone_flushes_pending_rows(self):
+        original = make_db()
+        original.insert("t", {"a": 4, "s": "w"})
+        copy = original.clone()
+        assert copy.total_rows("t") == 4
+
+
+class TestMergeTimelines:
+    def test_merge_sorts_by_time(self):
+        from repro.sim.simulator import merge_timelines
+
+        merged = merge_timelines([(3.0, "c"), (1.0, "a")], [(2.0, "b")])
+        assert merged == [(1.0, "a"), (2.0, "b"), (3.0, "c")]
+
+    def test_merge_empty(self):
+        from repro.sim.simulator import merge_timelines
+
+        assert merge_timelines([], []) == []

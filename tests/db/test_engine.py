@@ -1,0 +1,81 @@
+"""Tests for the LocalDatabase facade."""
+
+import numpy as np
+import pytest
+
+from repro.db.engine import LocalDatabase
+from repro.db.schema import ColumnType, SchemaError, make_schema
+from repro.db.sql import parse
+
+
+class TestTables:
+    def test_create_and_lookup(self):
+        db = LocalDatabase()
+        db.create_table(make_schema("t", [("a", ColumnType.INT)]))
+        assert db.has_table("t")
+        assert db.table("T").name == "t"
+
+    def test_duplicate_table_rejected(self):
+        db = LocalDatabase()
+        db.create_table(make_schema("t", [("a", ColumnType.INT)]))
+        with pytest.raises(SchemaError):
+            db.create_table(make_schema("T", [("a", ColumnType.INT)]))
+
+    def test_missing_table_raises(self):
+        with pytest.raises(SchemaError):
+            LocalDatabase().table("ghost")
+
+    def test_generation_bumps_on_writes(self):
+        db = LocalDatabase()
+        db.create_table(make_schema("t", [("a", ColumnType.INT)]))
+        start = db.generation
+        db.load("t", {"a": [1]})
+        db.insert("t", {"a": 2})
+        assert db.generation == start + 2
+
+
+class TestExecution:
+    def test_execute_sql(self, flow_db):
+        result = flow_db.execute_sql("SELECT COUNT(*) FROM Flow")
+        assert result.values() == [5000.0]
+
+    def test_execute_with_now(self, flow_db):
+        result = flow_db.execute_sql(
+            "SELECT COUNT(*) FROM Flow WHERE ts <= NOW()", now=86400.0 * 3,
+        )
+        assert 0 < result.values()[0] < 5000
+
+    def test_relevant_row_count_matches_execute(self, flow_db):
+        query = parse("SELECT SUM(Bytes) FROM Flow WHERE SrcPort = 80")
+        assert flow_db.relevant_row_count(query) == flow_db.execute(query).row_count
+
+
+class TestSummaries:
+    def test_indexed_columns_only(self, flow_db):
+        summaries = flow_db.build_summaries()
+        assert set(summaries["flow"]) == {"ts", "srcport", "bytes", "app"}
+
+    def test_estimation_accuracy_range_query(self, flow_db):
+        query = parse("SELECT COUNT(*) FROM Flow WHERE Bytes > 20000")
+        summaries = flow_db.build_summaries()
+        estimate = flow_db.estimate_from_summaries(
+            query, summaries, flow_db.total_rows("Flow")
+        )
+        exact = flow_db.relevant_row_count(query)
+        assert estimate == pytest.approx(exact, rel=0.05)
+
+    def test_estimation_accuracy_equality(self, flow_db):
+        query = parse("SELECT AVG(Bytes) FROM Flow WHERE App = 'SMB'")
+        summaries = flow_db.build_summaries()
+        estimate = flow_db.estimate_from_summaries(
+            query, summaries, flow_db.total_rows("Flow")
+        )
+        exact = flow_db.relevant_row_count(query)
+        assert estimate == pytest.approx(exact, rel=0.05)
+
+    def test_estimate_unknown_table_is_zero(self, flow_db):
+        query = parse("SELECT COUNT(*) FROM Missing WHERE x = 1")
+        assert flow_db.estimate_from_summaries(query, {}, 0) == 0.0
+
+    def test_total_bytes_positive(self, flow_db):
+        assert flow_db.total_bytes() > 0

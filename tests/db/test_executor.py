@@ -1,0 +1,128 @@
+"""Tests for local query execution."""
+
+import numpy as np
+import pytest
+
+from repro.db.executor import QueryResult, count_matching, execute
+from repro.db.schema import ColumnType, SchemaError, make_schema
+from repro.db.sql import parse
+from repro.db.table import Table
+
+
+@pytest.fixture
+def table() -> Table:
+    t = Table(
+        make_schema(
+            "Flow",
+            [
+                ("SrcPort", ColumnType.INT),
+                ("Bytes", ColumnType.INT),
+                ("App", ColumnType.STR),
+            ],
+        )
+    )
+    t.load_columns(
+        {
+            "SrcPort": [80, 80, 443, 80, 22],
+            "Bytes": [100, 200, 300, 400, 500],
+            "App": ["HTTP", "HTTP", "HTTPS", "HTTP", "SSH"],
+        }
+    )
+    return t
+
+
+class TestAggregates:
+    def test_sum_with_predicate(self, table):
+        result = execute(parse("SELECT SUM(Bytes) FROM Flow WHERE SrcPort = 80"), table)
+        assert result.values() == [700.0]
+        assert result.row_count == 3
+
+    def test_count_star(self, table):
+        result = execute(parse("SELECT COUNT(*) FROM Flow"), table)
+        assert result.values() == [5.0]
+
+    def test_avg(self, table):
+        result = execute(parse("SELECT AVG(Bytes) FROM Flow WHERE App = 'HTTP'"), table)
+        assert result.values() == [pytest.approx(700.0 / 3)]
+
+    def test_min_max(self, table):
+        result = execute(parse("SELECT MIN(Bytes), MAX(Bytes) FROM Flow"), table)
+        assert result.values() == [100.0, 500.0]
+
+    def test_count_column(self, table):
+        result = execute(parse("SELECT COUNT(Bytes) FROM Flow WHERE Bytes > 250"), table)
+        assert result.values() == [3.0]
+
+    def test_no_matches_returns_null(self, table):
+        result = execute(parse("SELECT SUM(Bytes) FROM Flow WHERE SrcPort = 9999"), table)
+        assert result.values() == [None]
+        assert result.row_count == 0
+
+    def test_wrong_table_rejected(self, table):
+        with pytest.raises(SchemaError):
+            execute(parse("SELECT COUNT(*) FROM Other"), table)
+
+
+class TestProjection:
+    def test_column_projection(self, table):
+        result = execute(parse("SELECT SrcPort FROM Flow WHERE Bytes >= 400"), table)
+        assert result.rows == [(80,), (22,)]
+
+    def test_star_projection(self, table):
+        result = execute(parse("SELECT * FROM Flow WHERE App = 'SSH'"), table)
+        assert result.rows == [(22, 500, "SSH")]
+
+    def test_empty_projection_result(self, table):
+        result = execute(parse("SELECT SrcPort FROM Flow WHERE Bytes > 9999"), table)
+        assert result.rows == []
+
+
+class TestMerge:
+    def _partial(self, table, predicate_sql):
+        return execute(parse(predicate_sql), table)
+
+    def test_merge_sums(self, table):
+        left = self._partial(table, "SELECT SUM(Bytes) FROM Flow WHERE SrcPort = 80")
+        right = self._partial(table, "SELECT SUM(Bytes) FROM Flow WHERE SrcPort = 443")
+        merged = left.merge(right)
+        assert merged.values() == [1000.0]
+        assert merged.row_count == 4
+
+    def test_merge_avg_is_weighted(self, table):
+        left = self._partial(table, "SELECT AVG(Bytes) FROM Flow WHERE SrcPort = 80")
+        right = self._partial(table, "SELECT AVG(Bytes) FROM Flow WHERE SrcPort = 22")
+        merged = left.merge(right)
+        assert merged.values() == [pytest.approx((100 + 200 + 400 + 500) / 4)]
+
+    def test_merge_mismatched_queries_rejected(self, table):
+        left = self._partial(table, "SELECT SUM(Bytes) FROM Flow")
+        right = self._partial(table, "SELECT COUNT(*) FROM Flow")
+        with pytest.raises(ValueError):
+            left.merge(right)
+
+    def test_merge_with_empty_like(self, table):
+        result = self._partial(table, "SELECT SUM(Bytes) FROM Flow")
+        identity = QueryResult.empty_like(result.specs)
+        assert identity.merge(result).values() == result.values()
+
+    def test_merge_order_invariant(self, table):
+        parts = [
+            self._partial(table, f"SELECT SUM(Bytes) FROM Flow WHERE Bytes = {b}")
+            for b in (100, 200, 300, 400, 500)
+        ]
+        forward = parts[0]
+        for part in parts[1:]:
+            forward = forward.merge(part)
+        backward = parts[-1]
+        for part in reversed(parts[:-1]):
+            backward = backward.merge(part)
+        assert forward.values() == backward.values()
+        assert forward.row_count == backward.row_count
+
+
+class TestCountMatching:
+    def test_counts_relevant_rows(self, table):
+        assert count_matching(parse("SELECT COUNT(*) FROM Flow WHERE SrcPort = 80"), table) == 3
+
+    def test_counts_everything_without_where(self, table):
+        assert count_matching(parse("SELECT COUNT(*) FROM Flow"), table) == 5

@@ -1,0 +1,164 @@
+"""Tests for histograms and selectivity estimation."""
+
+import numpy as np
+import pytest
+
+from repro.db.expressions import And, Comparison, Not, Or, TruePredicate
+from repro.db.histogram import (
+    EquiDepthHistogram,
+    FrequencyHistogram,
+    build_histogram,
+    estimate_row_count,
+)
+
+
+@pytest.fixture
+def uniform_values(rng):
+    return rng.uniform(0, 1000, 20000)
+
+
+class TestEquiDepth:
+    def test_total_preserved(self, uniform_values):
+        histogram = EquiDepthHistogram.build(uniform_values, 32)
+        assert histogram.counts.sum() == len(uniform_values)
+
+    def test_buckets_roughly_equal_depth(self, uniform_values):
+        histogram = EquiDepthHistogram.build(uniform_values, 32)
+        depths = histogram.counts
+        assert depths.max() < 2.5 * depths.min()
+
+    def test_range_estimate_uniform(self, uniform_values):
+        histogram = EquiDepthHistogram.build(uniform_values, 64)
+        estimate = histogram.estimate_range(100, 300)
+        exact = np.sum((uniform_values >= 100) & (uniform_values <= 300))
+        assert estimate == pytest.approx(exact, rel=0.05)
+
+    def test_le_estimate_extremes(self, uniform_values):
+        histogram = EquiDepthHistogram.build(uniform_values, 64)
+        assert histogram.estimate_le(-1) == 0.0
+        assert histogram.estimate_le(1e9) == len(uniform_values)
+
+    def test_eq_estimate_on_skewed_data(self, rng):
+        values = np.concatenate([np.full(9000, 80.0), rng.uniform(0, 1e5, 1000)])
+        histogram = EquiDepthHistogram.build(values, 64)
+        estimate = histogram.estimate_eq(80.0)
+        assert estimate == pytest.approx(9000, rel=0.25)
+
+    def test_empty_column(self):
+        histogram = EquiDepthHistogram.build(np.array([]))
+        assert histogram.estimate_le(5.0) == 0.0
+        assert histogram.estimate_eq(5.0) == 0.0
+
+    def test_single_value_column(self):
+        histogram = EquiDepthHistogram.build(np.full(100, 7.0))
+        assert histogram.estimate_eq(7.0) == pytest.approx(100)
+        assert histogram.estimate_range(0, 10) == pytest.approx(100)
+
+    def test_size_bytes_scales_with_buckets(self, uniform_values):
+        small = EquiDepthHistogram.build(uniform_values, 8)
+        large = EquiDepthHistogram.build(uniform_values, 64)
+        assert large.size_bytes() > small.size_bytes()
+
+    def test_boundary_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            EquiDepthHistogram(
+                np.array([0.0, 1.0]), np.array([1.0, 2.0]), np.array([1.0, 1.0]), 3
+            )
+
+
+class TestFrequency:
+    def test_exact_counts(self):
+        values = np.array(["a"] * 5 + ["b"] * 3, dtype=object)
+        histogram = FrequencyHistogram.build(values)
+        assert histogram.estimate_eq("a") == 5.0
+        assert histogram.estimate_eq("b") == 3.0
+
+    def test_missing_value_without_truncation(self):
+        histogram = FrequencyHistogram.build(np.array(["x"] * 4, dtype=object))
+        assert histogram.estimate_eq("zzz") == 0.0
+
+    def test_truncation_residual(self):
+        values = np.array([f"v{i}" for i in range(500)], dtype=object)
+        histogram = FrequencyHistogram.build(values, mcv_limit=100)
+        assert histogram.truncated
+        assert histogram.estimate_eq("not-there") > 0.0
+
+    def test_ne_complements(self):
+        values = np.array(["a"] * 7 + ["b"] * 3, dtype=object)
+        histogram = FrequencyHistogram.build(values)
+        assert histogram.estimate_ne("a") == 3.0
+
+
+class TestBuildDispatch:
+    def test_numeric_gets_equi_depth(self, rng):
+        histogram = build_histogram(rng.integers(0, 10, 100))
+        assert isinstance(histogram, EquiDepthHistogram)
+
+    def test_strings_get_frequency(self):
+        histogram = build_histogram(np.array(["a", "b"], dtype=object))
+        assert isinstance(histogram, FrequencyHistogram)
+
+
+class TestEstimateRowCount:
+    @pytest.fixture
+    def histograms(self, rng):
+        ports = rng.choice([80, 443, 445], 10000, p=[0.5, 0.3, 0.2])
+        sizes = rng.exponential(1000, 10000)
+        return (
+            {
+                "port": build_histogram(ports),
+                "size": build_histogram(sizes),
+            },
+            ports,
+            sizes,
+        )
+
+    def test_equality(self, histograms):
+        hists, ports, _ = histograms
+        estimate = estimate_row_count(Comparison("port", "=", 80), hists, 10000)
+        assert estimate == pytest.approx(np.sum(ports == 80), rel=0.1)
+
+    def test_range_conjunction_single_column(self, histograms):
+        hists, _, sizes = histograms
+        predicate = And(
+            Comparison("size", ">=", 100.0), Comparison("size", "<=", 500.0)
+        )
+        exact = np.sum((sizes >= 100) & (sizes <= 500))
+        estimate = estimate_row_count(predicate, hists, 10000)
+        assert estimate == pytest.approx(exact, rel=0.1)
+
+    def test_independence_for_and(self, histograms):
+        hists, ports, sizes = histograms
+        predicate = And(Comparison("port", "=", 80), Comparison("size", ">", 1000.0))
+        expected = (
+            np.mean(ports == 80) * np.mean(sizes > 1000.0) * 10000
+        )
+        estimate = estimate_row_count(predicate, hists, 10000)
+        assert estimate == pytest.approx(expected, rel=0.15)
+
+    def test_or_inclusion_exclusion(self, histograms):
+        hists, ports, _ = histograms
+        predicate = Or(Comparison("port", "=", 80), Comparison("port", "=", 443))
+        p = np.mean(ports == 80)
+        q = np.mean(ports == 443)
+        estimate = estimate_row_count(predicate, hists, 10000)
+        # The estimator assumes independence: p + q - pq, not exact union.
+        assert estimate == pytest.approx((p + q - p * q) * 10000, rel=0.05)
+
+    def test_not_complements(self, histograms):
+        hists, ports, _ = histograms
+        predicate = Not(Comparison("port", "=", 80))
+        estimate = estimate_row_count(predicate, hists, 10000)
+        assert estimate == pytest.approx(np.sum(ports != 80), rel=0.15)
+
+    def test_true_predicate_returns_all(self, histograms):
+        hists, _, _ = histograms
+        assert estimate_row_count(TruePredicate(), hists, 10000) == 10000
+
+    def test_unknown_column_uses_default(self):
+        estimate = estimate_row_count(Comparison("nope", "=", 1), {}, 9000)
+        assert estimate == pytest.approx(3000)
+
+    def test_zero_rows(self, histograms):
+        hists, _, _ = histograms
+        assert estimate_row_count(Comparison("port", "=", 80), hists, 0) == 0.0

@@ -1,0 +1,46 @@
+"""Tests for schema definitions."""
+
+import pytest
+
+from repro.db.schema import Column, ColumnType, Schema, SchemaError, make_schema
+
+
+class TestSchema:
+    def test_column_lookup_case_insensitive(self):
+        schema = make_schema("t", [("SrcPort", ColumnType.INT)])
+        assert schema.column("srcport").name == "SrcPort"
+        assert schema.has_column("SRCPORT")
+
+    def test_unknown_column_raises(self):
+        schema = make_schema("t", [("a", ColumnType.INT)])
+        with pytest.raises(SchemaError):
+            schema.column("b")
+
+    def test_duplicate_columns_rejected(self):
+        with pytest.raises(SchemaError):
+            Schema("t", [Column("a", ColumnType.INT), Column("A", ColumnType.STR)])
+
+    def test_column_names_ordered(self):
+        schema = make_schema(
+            "t", [("z", ColumnType.INT), ("a", ColumnType.INT)]
+        )
+        assert schema.column_names == ["z", "a"]
+
+    def test_indexed_columns(self):
+        schema = make_schema(
+            "t",
+            [("a", ColumnType.INT, True), ("b", ColumnType.INT), ("c", ColumnType.STR, True)],
+        )
+        assert [column.name for column in schema.indexed_columns] == ["a", "c"]
+
+    def test_iteration_and_length(self):
+        schema = make_schema("t", [("a", ColumnType.INT), ("b", ColumnType.STR)])
+        assert len(schema) == 2
+        assert [column.name for column in schema] == ["a", "b"]
+
+
+class TestColumnType:
+    def test_numeric_flag(self):
+        assert ColumnType.INT.numeric
+        assert ColumnType.FLOAT.numeric
+        assert not ColumnType.STR.numeric

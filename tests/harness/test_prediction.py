@@ -1,0 +1,116 @@
+"""Tests for the simplified prediction simulator."""
+
+import numpy as np
+import pytest
+
+from repro.harness.prediction import PredictionSimulator, sweep_injection_times
+from repro.traces import AvailabilitySchedule, TraceSet, generate_farsite_trace
+from repro.workload.queries import QUERY_HTTP_BYTES
+
+HORIZON = 21 * 86400.0
+
+
+@pytest.fixture(scope="module")
+def simulator(small_dataset):
+    trace = generate_farsite_trace(
+        600, horizon=HORIZON, rng=np.random.default_rng(17)
+    )
+    return PredictionSimulator(
+        trace, small_dataset, rng=np.random.default_rng(18)
+    )
+
+
+class TestOutcome:
+    def test_prediction_error_small(self, simulator):
+        outcome = simulator.run(QUERY_HTTP_BYTES, 15 * 86400.0)
+        errors = np.abs(outcome.prediction_error())
+        # The paper's bound is 5%; at this small population allow more
+        # sampling noise but stay in the same regime.
+        assert errors[:5].max() < 10.0
+
+    def test_total_count_error_tiny(self, simulator):
+        outcome = simulator.run(QUERY_HTTP_BYTES, 15 * 86400.0)
+        assert abs(outcome.total_count_error()) < 2.0
+
+    def test_predicted_and_actual_monotone(self, simulator):
+        outcome = simulator.run(QUERY_HTTP_BYTES, 15 * 86400.0)
+        assert (np.diff(outcome.predicted) >= -1e-9).all()
+        assert (np.diff(outcome.actual) >= -1e-9).all()
+
+    def test_immediate_matches_available_rows(self, simulator):
+        outcome = simulator.run(QUERY_HTTP_BYTES, 15 * 86400.0)
+        # At delay 0 prediction is exact: both sides count the same
+        # online endsystems with exact local row counts.
+        assert outcome.predicted[0] == pytest.approx(outcome.actual[0])
+
+    def test_available_fraction_plausible(self, simulator):
+        outcome = simulator.run(QUERY_HTTP_BYTES, 15 * 86400.0 + 14 * 3600.0)
+        assert 0.6 < outcome.available_fraction < 1.0
+
+    def test_error_at_helper(self, simulator):
+        outcome = simulator.run(QUERY_HTTP_BYTES, 15 * 86400.0)
+        errors = outcome.prediction_error()
+        assert outcome.error_at(0.0) == errors[0]
+
+    def test_sweep_injection_times(self, simulator):
+        outcomes = sweep_injection_times(
+            simulator, QUERY_HTTP_BYTES, [15 * 86400.0, 15 * 86400.0 + 21600.0]
+        )
+        assert len(outcomes) == 2
+        assert outcomes[0].inject_time != outcomes[1].inject_time
+
+
+class TestEdgeCases:
+    def test_all_available_is_fully_immediate(self, small_dataset):
+        horizon = 86400.0
+        trace = TraceSet(
+            [AvailabilitySchedule.always_on(horizon) for _ in range(50)], horizon
+        )
+        simulator = PredictionSimulator(
+            trace, small_dataset, rng=np.random.default_rng(1)
+        )
+        outcome = simulator.run(QUERY_HTTP_BYTES, 3600.0)
+        assert outcome.available_fraction == 1.0
+        assert outcome.predicted[0] == pytest.approx(outcome.predicted_total)
+        assert outcome.total_count_error() == pytest.approx(0.0)
+
+    def test_never_returning_endsystem_excluded_from_actual(self, small_dataset):
+        horizon = 86400.0
+        schedules = [AvailabilitySchedule.always_on(horizon) for _ in range(9)]
+        schedules.append(
+            AvailabilitySchedule.from_intervals([(0.0, 1000.0)], horizon)
+        )
+        trace = TraceSet(schedules, horizon)
+        simulator = PredictionSimulator(
+            trace, small_dataset, rng=np.random.default_rng(2)
+        )
+        outcome = simulator.run(QUERY_HTTP_BYTES, 2000.0)
+        # The dead endsystem is predicted (its metadata survives) but
+        # never contributes to the actual curve.
+        assert outcome.predicted_total > outcome.actual_total
+
+    def test_min_uptime_filters_blips(self, small_dataset):
+        horizon = 86400.0
+        schedules = [AvailabilitySchedule.always_on(horizon) for _ in range(9)]
+        # One endsystem flashes up for 10 s then returns properly later.
+        schedules.append(
+            AvailabilitySchedule.from_intervals(
+                [(0.0, 100.0), (5000.0, 5010.0), (40000.0, horizon)], horizon
+            )
+        )
+        trace = TraceSet(schedules, horizon)
+        simulator = PredictionSimulator(
+            trace, small_dataset, rng=np.random.default_rng(3), min_uptime=60.0
+        )
+        outcome = simulator.run(QUERY_HTTP_BYTES, 2000.0, checkpoints=(0.0, 10000.0, 86000.0))
+        # The 10-second blip at t=5000 must not count as available; the
+        # contribution lands at t=40000 instead.
+        assert outcome.actual[1] == outcome.actual[0]
+        assert outcome.actual[2] > outcome.actual[1]
+
+    def test_mismatched_assignment_rejected(self, small_dataset):
+        trace = TraceSet([AvailabilitySchedule.always_on(10.0)], 10.0)
+        with pytest.raises(ValueError):
+            PredictionSimulator(
+                trace, small_dataset, assignment=np.array([0, 1, 2])
+            )

@@ -1,0 +1,56 @@
+"""Tests for the reporting helpers."""
+
+import numpy as np
+
+from repro.harness.reporting import (
+    format_bytes_rate,
+    format_series,
+    format_table,
+    summarize_distribution,
+)
+
+
+class TestFormatTable:
+    def test_alignment(self):
+        text = format_table(["a", "bbbb"], [["x", 1], ["yyyy", 22]])
+        lines = text.splitlines()
+        assert lines[0].startswith("a")
+        assert all(len(line) >= len("yyyy  22") for line in lines[2:])
+
+    def test_title(self):
+        text = format_table(["c"], [[1]], title="My Table")
+        assert text.splitlines()[0] == "My Table"
+
+    def test_empty_rows(self):
+        text = format_table(["a"], [])
+        assert "a" in text
+
+
+class TestFormatSeries:
+    def test_series_columns(self):
+        text = format_series(
+            "N", [1.0, 10.0], {"m1": [5.0, 50.0], "m2": [7.0, 70.0]}
+        )
+        header = text.splitlines()[0]
+        assert "N" in header and "m1" in header and "m2" in header
+        assert len(text.splitlines()) == 4  # header, rule, 2 rows
+
+
+class TestBytesRate:
+    def test_units(self):
+        assert format_bytes_rate(5.0) == "5.0 B/s"
+        assert format_bytes_rate(5_000.0) == "5.00 KB/s"
+        assert format_bytes_rate(5_000_000.0) == "5.00 MB/s"
+        assert format_bytes_rate(5e9) == "5.00 GB/s"
+
+
+class TestDistribution:
+    def test_summary_keys(self):
+        stats = summarize_distribution(np.array([0.0, 0.0, 1.0, 3.0]))
+        assert stats["mean"] == 1.0
+        assert stats["zeros"] == 0.5
+        assert stats["p99"] <= 3.0
+
+    def test_empty(self):
+        stats = summarize_distribution(np.array([]))
+        assert stats["mean"] == 0.0

@@ -1,0 +1,52 @@
+"""Tests for trace statistics (Fig. 1 helpers)."""
+
+import numpy as np
+
+from repro.harness.trace_stats import (
+    compute_trace_statistics,
+    hourly_availability_curve,
+)
+from repro.traces import AvailabilitySchedule, TraceSet
+
+
+def make_trace():
+    horizon = 3 * 86400.0
+    schedules = []
+    for index in range(20):
+        if index % 2 == 0:
+            schedules.append(AvailabilitySchedule.always_on(horizon))
+        else:
+            # Up 08:00-18:00 daily.
+            intervals = [
+                (day * 86400.0 + 8 * 3600.0, day * 86400.0 + 18 * 3600.0)
+                for day in range(3)
+            ]
+            schedules.append(AvailabilitySchedule.from_intervals(intervals, horizon))
+    return TraceSet(schedules, horizon)
+
+
+class TestStatistics:
+    def test_mean_availability(self):
+        stats = compute_trace_statistics(make_trace())
+        # Half always on, half up 10/24 of the time.
+        expected = 0.5 * 1.0 + 0.5 * (10.0 / 24.0)
+        assert abs(stats.mean_availability - expected) < 0.02
+
+    def test_min_max_fractions(self):
+        stats = compute_trace_statistics(make_trace())
+        assert stats.min_available_fraction == 0.5  # nights
+        assert stats.max_available_fraction == 1.0  # working hours
+
+    def test_diurnal_amplitude_positive(self):
+        stats = compute_trace_statistics(make_trace())
+        assert stats.diurnal_amplitude > 0.3
+
+    def test_sample_window_limits_work(self):
+        stats = compute_trace_statistics(make_trace(), sample_days=1.0)
+        assert stats.population == 20
+
+    def test_curve_shape(self):
+        hours, counts = hourly_availability_curve(make_trace(), days=1.0)
+        assert len(hours) == 24
+        assert counts.min() == 10
+        assert counts.max() == 20

@@ -1,0 +1,72 @@
+"""Tests for bandwidth accounting."""
+
+import numpy as np
+import pytest
+
+from repro.net.stats import BandwidthAccounting, cdf, percentile
+
+
+@pytest.fixture
+def accounting() -> BandwidthAccounting:
+    return BandwidthAccounting(bucket_seconds=3600.0)
+
+
+class TestRecording:
+    def test_tx_rx_both_sides(self, accounting):
+        accounting.record(10.0, "a", "b", 100, "query")
+        assert accounting.total_tx == 100
+        assert accounting.total_rx == 100
+        assert accounting.per_endsystem_totals("tx") == {"a": 100}
+        assert accounting.per_endsystem_totals("rx") == {"b": 100}
+
+    def test_categories_separated(self, accounting):
+        accounting.record(0.0, "a", "b", 10, "query")
+        accounting.record(0.0, "a", "b", 20, "maintenance")
+        totals = accounting.totals_by_category("tx")
+        assert totals == {"query": 10, "maintenance": 20}
+
+    def test_timeseries_bucketing(self, accounting):
+        accounting.record(100.0, "a", "b", 10, "query")
+        accounting.record(3700.0, "a", "b", 30, "query")
+        series = accounting.timeseries("tx")["query"]
+        assert series == {0: 10, 1: 30}
+
+    def test_record_local_one_sided(self, accounting):
+        accounting.record_local(0.0, "a", tx_bytes=50, rx_bytes=70, category="overlay")
+        assert accounting.per_endsystem_totals("tx") == {"a": 50}
+        assert accounting.per_endsystem_totals("rx") == {"a": 70}
+
+    def test_invalid_bucket_rejected(self):
+        with pytest.raises(ValueError):
+            BandwidthAccounting(bucket_seconds=0.0)
+
+
+class TestSamples:
+    def test_endsystem_hour_samples_include_zeros(self, accounting):
+        accounting.record(100.0, "a", "b", 3600, "query")
+        samples = accounting.endsystem_hour_samples(["a", "b", "c"], 0, 2, "tx")
+        # 3 endsystems x 2 buckets = 6 samples; only one is non-zero.
+        assert len(samples) == 6
+        assert np.count_nonzero(samples) == 1
+        assert samples.max() == pytest.approx(1.0)  # 3600 B over 3600 s
+
+    def test_mean_rate(self, accounting):
+        accounting.record(0.0, "a", "b", 500, "query")
+        assert accounting.mean_rate_per_endsystem(100.0, "tx") == 5.0
+        assert accounting.mean_rate_per_endsystem(0.0, "tx") == 0.0
+
+
+class TestHelpers:
+    def test_cdf_shape(self):
+        values, fractions = cdf(np.array([3.0, 1.0, 2.0]))
+        assert list(values) == [1.0, 2.0, 3.0]
+        assert fractions[-1] == 1.0
+
+    def test_cdf_empty(self):
+        values, fractions = cdf(np.array([]))
+        assert len(values) == 0
+
+    def test_percentile(self):
+        samples = np.arange(101, dtype=float)
+        assert percentile(samples, 99) == pytest.approx(99.0)
+        assert percentile(np.array([]), 99) == 0.0

@@ -1,0 +1,87 @@
+"""Tests for the network topology."""
+
+import numpy as np
+import pytest
+
+from repro.net.topology import Topology, corpnet_like
+
+
+@pytest.fixture
+def triangle() -> Topology:
+    # Three routers in a triangle with asymmetric RTTs.
+    return Topology(
+        3,
+        [(0, 1, 0.010), (1, 2, 0.020), (0, 2, 0.050)],
+        lan_delay=0.001,
+    )
+
+
+class TestTopology:
+    def test_shortest_path_rtt(self, triangle):
+        # 0 -> 2 direct is 50 ms but via 1 it is 30 ms.
+        assert triangle.router_rtt(0, 2) == pytest.approx(0.030)
+
+    def test_rtt_symmetric(self, triangle):
+        assert triangle.router_rtt(1, 2) == triangle.router_rtt(2, 1)
+
+    def test_self_rtt_zero(self, triangle):
+        assert triangle.router_rtt(1, 1) == 0.0
+
+    def test_latency_includes_lan_hops(self, triangle):
+        triangle.attach("a", 0)
+        triangle.attach("b", 1)
+        assert triangle.latency("a", "b") == pytest.approx(0.001 + 0.005 + 0.001)
+
+    def test_latency_same_endsystem_zero(self, triangle):
+        triangle.attach("a", 0)
+        assert triangle.latency("a", "a") == 0.0
+
+    def test_same_router_endsystems(self, triangle):
+        triangle.attach("a", 0)
+        triangle.attach("b", 0)
+        assert triangle.latency("a", "b") == pytest.approx(0.002)
+
+    def test_attach_random(self, triangle, rng):
+        names = [f"es{i}" for i in range(30)]
+        triangle.attach_random(names, rng)
+        assert set(triangle.endsystems) == set(names)
+        routers = {triangle.router_of(name) for name in names}
+        assert routers <= {0, 1, 2}
+        assert len(routers) > 1  # spread across routers
+
+    def test_unknown_router_rejected(self, triangle):
+        with pytest.raises(ValueError):
+            triangle.attach("x", 99)
+
+    def test_disconnected_graph_rejected(self):
+        with pytest.raises(ValueError):
+            Topology(3, [(0, 1, 0.01)])
+
+    def test_negative_rtt_rejected(self):
+        with pytest.raises(ValueError):
+            Topology(2, [(0, 1, -0.5)])
+
+
+class TestCorpnetLike:
+    def test_default_shape(self, rng):
+        topology = corpnet_like(rng)
+        assert topology.num_routers == 298
+
+    def test_connected_and_bounded_rtt(self, rng):
+        topology = corpnet_like(rng, num_routers=50, num_regions=4)
+        rtts = [
+            topology.router_rtt(0, router) for router in range(topology.num_routers)
+        ]
+        assert max(rtts) < 1.0  # under a second across the world
+        assert all(rtt >= 0 for rtt in rtts)
+
+    def test_regional_locality(self, rng):
+        topology = corpnet_like(rng, num_routers=100, num_regions=8)
+        # Core-to-core links are intercontinental; leaf links are local,
+        # so *some* pairs must be much closer than others.
+        rtts = [topology.router_rtt(10, router) for router in range(11, 100)]
+        assert min(rtts) < 0.02 < max(rtts)
+
+    def test_too_few_routers_rejected(self, rng):
+        with pytest.raises(ValueError):
+            corpnet_like(rng, num_routers=3, num_regions=8)

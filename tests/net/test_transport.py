@@ -1,0 +1,118 @@
+"""Tests for the message transport."""
+
+import numpy as np
+import pytest
+
+from repro.net.stats import BandwidthAccounting
+from repro.net.topology import Topology
+from repro.net.transport import MESSAGE_HEADER_BYTES, Message, Transport
+from repro.sim import Simulator
+
+
+@pytest.fixture
+def setup():
+    sim = Simulator()
+    topology = Topology(2, [(0, 1, 0.010)], lan_delay=0.001)
+    topology.attach("a", 0)
+    topology.attach("b", 1)
+    accounting = BandwidthAccounting(bucket_seconds=60.0)
+    transport = Transport(sim, topology, accounting)
+    return sim, transport, accounting
+
+
+class TestDelivery:
+    def test_message_delivered_after_latency(self, setup):
+        sim, transport, _ = setup
+        received = []
+        transport.register("b", lambda dst, msg: received.append((sim.now, msg)))
+        transport.set_online("a", True)
+        transport.set_online("b", True)
+        transport.send("a", "b", Message("HELLO", None, size=100))
+        sim.run()
+        assert len(received) == 1
+        time, message = received[0]
+        assert time == pytest.approx(0.001 + 0.005 + 0.001)
+        assert message.kind == "HELLO"
+        assert message.src == "a"
+
+    def test_offline_destination_drops(self, setup):
+        sim, transport, _ = setup
+        received = []
+        transport.register("b", lambda dst, msg: received.append(msg))
+        transport.set_online("a", True)
+        transport.set_online("b", False)
+        transport.send("a", "b", Message("HELLO", None, size=10))
+        sim.run()
+        assert received == []
+        assert transport.dropped_offline == 1
+
+    def test_destination_goes_down_mid_flight(self, setup):
+        sim, transport, _ = setup
+        received = []
+        transport.register("b", lambda dst, msg: received.append(msg))
+        transport.set_online("b", True)
+        transport.send("a", "b", Message("HELLO", None, size=10))
+        transport.set_online("b", False)  # crashes before delivery
+        sim.run()
+        assert received == []
+
+    def test_unregistered_destination_drops(self, setup):
+        sim, transport, _ = setup
+        transport.set_online("b", True)
+        transport.send("a", "b", Message("HELLO", None, size=10))
+        sim.run()
+        assert transport.dropped_offline == 1
+
+
+class TestAccounting:
+    def test_bytes_recorded_with_header(self, setup):
+        sim, transport, accounting = setup
+        transport.register("b", lambda dst, msg: None)
+        transport.set_online("b", True)
+        transport.send("a", "b", Message("X", None, size=100, category="query"))
+        sim.run()
+        assert accounting.total_tx == 100 + MESSAGE_HEADER_BYTES
+        assert accounting.totals_by_category("tx") == {
+            "query": 100 + MESSAGE_HEADER_BYTES
+        }
+
+    def test_bytes_recorded_even_when_dropped(self, setup):
+        sim, transport, accounting = setup
+        transport.set_online("b", False)
+        transport.send("a", "b", Message("X", None, size=10))
+        sim.run()
+        assert accounting.total_tx > 0  # the sender still used the wire
+
+
+class TestLoss:
+    def test_loss_rate_applied(self):
+        sim = Simulator()
+        topology = Topology(1, [(0, 0, 0.0)], lan_delay=0.001)
+        topology.attach("a", 0)
+        topology.attach("b", 0)
+        transport = Transport(
+            sim,
+            topology,
+            loss_rate=0.5,
+            loss_rng=np.random.default_rng(0),
+        )
+        received = []
+        transport.register("b", lambda dst, msg: received.append(msg))
+        transport.set_online("b", True)
+        for _ in range(400):
+            transport.send("a", "b", Message("X", None, size=1))
+        sim.run()
+        assert 130 < len(received) < 270  # ~50% with slack
+        assert transport.dropped_loss == 400 - len(received)
+
+    def test_loss_requires_rng(self):
+        sim = Simulator()
+        topology = Topology(1, [(0, 0, 0.0)])
+        with pytest.raises(ValueError):
+            Transport(sim, topology, loss_rate=0.1)
+
+    def test_invalid_loss_rate(self):
+        sim = Simulator()
+        topology = Topology(1, [(0, 0, 0.0)])
+        with pytest.raises(ValueError):
+            Transport(sim, topology, loss_rate=1.5, loss_rng=np.random.default_rng(0))

@@ -1,0 +1,163 @@
+"""Tests for 128-bit identifier arithmetic."""
+
+import numpy as np
+import pytest
+
+from repro.overlay.ids import (
+    ID_MASK,
+    ID_SPACE,
+    closer_id,
+    common_prefix_len,
+    common_suffix_len,
+    cw_distance,
+    digit,
+    digits_per_id,
+    hex_to_id,
+    id_to_hex,
+    in_wrapped_range,
+    key_from_text,
+    random_id,
+    replace_suffix,
+    ring_distance,
+    wrapped_midpoint,
+    wrapped_range_size,
+)
+
+
+class TestDigits:
+    def test_digits_per_id(self):
+        assert digits_per_id(4) == 32
+        assert digits_per_id(1) == 128
+        assert digits_per_id(8) == 16
+
+    def test_invalid_base_raises(self):
+        with pytest.raises(ValueError):
+            digits_per_id(5)  # 5 does not divide 128
+
+    def test_digit_extraction_msb_first(self):
+        identifier = 0xA << 124  # top hex digit is A
+        assert digit(identifier, 0, 4) == 0xA
+        assert digit(identifier, 1, 4) == 0
+
+    def test_digit_last(self):
+        assert digit(0xB, 31, 4) == 0xB
+
+    def test_digit_out_of_range(self):
+        with pytest.raises(ValueError):
+            digit(0, 32, 4)
+
+
+class TestPrefixSuffix:
+    def test_common_prefix_identical(self):
+        assert common_prefix_len(5, 5, 4) == 32
+
+    def test_common_prefix_first_digit_differs(self):
+        a = 0x1 << 124
+        b = 0x2 << 124
+        assert common_prefix_len(a, b, 4) == 0
+
+    def test_common_prefix_partial(self):
+        a = 0xAB << 120
+        b = 0xAC << 120
+        assert common_prefix_len(a, b, 4) == 1
+
+    def test_common_suffix_identical(self):
+        assert common_suffix_len(9, 9, 4) == 32
+
+    def test_common_suffix_last_digit_differs(self):
+        assert common_suffix_len(0x1, 0x2, 4) == 0
+
+    def test_common_suffix_partial(self):
+        assert common_suffix_len(0x1A5, 0x3A5, 4) == 2
+
+    def test_replace_suffix(self):
+        target = 0xAAAAAAAAAAAAAAAAAAAAAAAAAAAAAAAA
+        source = 0xBBBBBBBBBBBBBBBBBBBBBBBBBBBBBBBB
+        result = replace_suffix(target, source, 2, 4)
+        assert id_to_hex(result) == "a" * 30 + "bb"
+
+    def test_replace_suffix_all(self):
+        assert replace_suffix(1, 2, 32, 4) == 2
+
+    def test_replace_suffix_none(self):
+        assert replace_suffix(1, 2, 0, 4) == 1
+
+
+class TestDistances:
+    def test_cw_distance_forward(self):
+        assert cw_distance(10, 20) == 10
+
+    def test_cw_distance_wraps(self):
+        assert cw_distance(20, 10) == ID_SPACE - 10
+
+    def test_ring_distance_symmetric(self):
+        assert ring_distance(10, 20) == ring_distance(20, 10) == 10
+
+    def test_ring_distance_wraps(self):
+        assert ring_distance(0, ID_MASK) == 1
+
+    def test_closer_id_picks_nearer(self):
+        assert closer_id(10, 30, 12) == 10
+        assert closer_id(10, 30, 28) == 30
+
+    def test_closer_id_tie_breaks_low(self):
+        assert closer_id(10, 30, 20) == 10
+
+
+class TestRanges:
+    def test_in_wrapped_range_simple(self):
+        assert in_wrapped_range(5, 0, 10)
+        assert not in_wrapped_range(10, 0, 10)
+
+    def test_in_wrapped_range_wrapping(self):
+        lo, hi = ID_MASK - 5, 5
+        assert in_wrapped_range(ID_MASK, lo, hi)
+        assert in_wrapped_range(2, lo, hi)
+        assert not in_wrapped_range(100, lo, hi)
+
+    def test_full_range_convention(self):
+        assert in_wrapped_range(123, 77, 77)
+
+    def test_wrapped_range_size(self):
+        assert wrapped_range_size(10, 20) == 10
+        assert wrapped_range_size(20, 10) == ID_SPACE - 10
+        assert wrapped_range_size(7, 7) == ID_SPACE
+
+    def test_wrapped_midpoint_simple(self):
+        assert wrapped_midpoint(0, 10) == 5
+
+    def test_wrapped_midpoint_wrapping(self):
+        mid = wrapped_midpoint(ID_MASK - 3, 5)
+        assert in_wrapped_range(mid, ID_MASK - 3, 5)
+
+    def test_midpoint_splits_evenly(self):
+        lo, hi = 100, 200
+        mid = wrapped_midpoint(lo, hi)
+        assert wrapped_range_size(lo, mid) == wrapped_range_size(mid, hi)
+
+
+class TestKeys:
+    def test_key_from_text_deterministic(self):
+        assert key_from_text("SELECT 1") == key_from_text("SELECT 1")
+
+    def test_key_from_text_differs(self):
+        assert key_from_text("a") != key_from_text("b")
+
+    def test_key_in_range(self):
+        key = key_from_text("anything at all")
+        assert 0 <= key < ID_SPACE
+
+    def test_hex_roundtrip(self):
+        rng = np.random.default_rng(4)
+        for _ in range(20):
+            identifier = random_id(rng)
+            assert hex_to_id(id_to_hex(identifier)) == identifier
+
+    def test_hex_is_32_chars(self):
+        assert len(id_to_hex(0)) == 32
+
+    def test_random_id_uniform_top_bit(self):
+        rng = np.random.default_rng(5)
+        ids = [random_id(rng) for _ in range(400)]
+        top_set = sum(1 for i in ids if i >> 127)
+        assert 120 < top_set < 280  # roughly half

@@ -1,0 +1,147 @@
+"""Tests for the Pastry leafset."""
+
+import numpy as np
+import pytest
+
+from repro.overlay.ids import ID_SPACE, random_id, ring_distance
+from repro.overlay.leafset import Leafset
+
+
+def ring_ids(count: int, seed: int = 0) -> list[int]:
+    rng = np.random.default_rng(seed)
+    return sorted({random_id(rng) for _ in range(count)})
+
+
+class TestMembership:
+    def test_owner_not_addable(self):
+        ls = Leafset(100)
+        assert not ls.add(100)
+        assert 100 not in ls
+
+    def test_add_and_contains(self):
+        ls = Leafset(100)
+        assert ls.add(200)
+        assert 200 in ls
+
+    def test_duplicate_add_returns_false(self):
+        ls = Leafset(100)
+        ls.add(200)
+        assert not ls.add(200)
+
+    def test_remove(self):
+        ls = Leafset(100)
+        ls.add(200)
+        assert ls.remove(200)
+        assert 200 not in ls
+        assert not ls.remove(200)
+
+    def test_size_must_be_even(self):
+        with pytest.raises(ValueError):
+            Leafset(0, size=7)
+
+    def test_capacity_keeps_closest_per_side(self):
+        owner = 1000
+        ls = Leafset(owner, size=4)  # 2 per side
+        for node in [1001, 1002, 1003, 1004, 1005]:
+            ls.add(node)
+        assert ls.cw_members == [1001, 1002]
+
+    def test_closest_members_evict_farther(self):
+        owner = 1000
+        ls = Leafset(owner, size=4)
+        ls.add(1005)
+        ls.add(1004)
+        ls.add(1001)  # closer: should evict 1005 from the cw side
+        assert ls.cw_members == [1001, 1004]
+
+
+class TestOrdering:
+    def test_cw_members_sorted_by_distance(self):
+        owner = 0
+        ls = Leafset(owner, size=8)
+        for node in [40, 10, 30, 20]:
+            ls.add(node)
+        assert ls.cw_members == [10, 20, 30, 40]
+
+    def test_ccw_side_wraps(self):
+        owner = 5
+        ls = Leafset(owner, size=8)
+        ls.add(ID_SPACE - 10)  # just counter-clockwise of owner
+        assert ls.neighbour_ccw() == ID_SPACE - 10
+
+    def test_immediate_neighbours(self):
+        ids = ring_ids(20, seed=3)
+        owner = ids[10]
+        ls = Leafset(owner, size=8)
+        for node in ids:
+            ls.add(node)
+        assert ls.neighbour_cw() == ids[11]
+        assert ls.neighbour_ccw() == ids[9]
+
+
+class TestClosest:
+    def test_closest_includes_owner_by_default(self):
+        ls = Leafset(100)
+        ls.add(500)
+        assert ls.closest(101) == 100
+
+    def test_closest_excluding_owner(self):
+        ls = Leafset(100)
+        ls.add(500)
+        assert ls.closest(101, include_owner=False) == 500
+
+    def test_closest_matches_ring_distance(self):
+        ids = ring_ids(16, seed=9)
+        owner = ids[0]
+        ls = Leafset(owner, size=16)
+        for node in ids:
+            ls.add(node)
+        rng = np.random.default_rng(2)
+        for _ in range(50):
+            key = random_id(rng)
+            expected = min(
+                ls.members + [owner], key=lambda m: (ring_distance(m, key), m)
+            )
+            assert ls.closest(key) == expected
+
+    def test_closest_empty_raises(self):
+        ls = Leafset(5)
+        with pytest.raises(ValueError):
+            ls.closest(1, include_owner=False)
+
+
+class TestCoverage:
+    def test_not_full_covers_everything(self):
+        ls = Leafset(100, size=8)
+        ls.add(200)
+        assert ls.covers(10**30)
+
+    def test_full_leafset_covers_span_only(self):
+        ids = ring_ids(64, seed=1)
+        owner = ids[32]
+        ls = Leafset(owner, size=8)
+        for node in ids:
+            ls.add(node)
+        assert ls.is_full()
+        assert ls.covers(ids[30])  # within span
+        assert not ls.covers(ids[2])  # far outside span
+
+    def test_extremes(self):
+        ids = ring_ids(32, seed=5)
+        owner = ids[16]
+        ls = Leafset(owner, size=8)
+        for node in ids:
+            ls.add(node)
+        extremes = ls.extremes()
+        assert extremes == [ls.cw_members[-1], ls.ccw_members[-1]]
+
+
+class TestMerge:
+    def test_merge_reports_change(self):
+        ls = Leafset(0, size=8)
+        assert ls.merge([10, 20])
+        assert not ls.merge([10, 20])
+
+    def test_merge_ignores_owner(self):
+        ls = Leafset(0, size=8)
+        assert not ls.merge([0])

@@ -1,0 +1,191 @@
+"""Protocol tests for PastryNode: join, routing, repair, death records."""
+
+import numpy as np
+import pytest
+
+from repro.net.stats import BandwidthAccounting
+from repro.net.topology import corpnet_like
+from repro.net.transport import Transport
+from repro.overlay.ids import random_id, ring_distance
+from repro.overlay.network import OverlayConfig, OverlayNetwork
+from repro.sim import SimClock, Simulator
+
+
+@pytest.fixture
+def overlay():
+    sim = Simulator(SimClock())
+    rng = np.random.default_rng(21)
+    topology = corpnet_like(rng, num_routers=20)
+    transport = Transport(sim, topology, BandwidthAccounting())
+    network = OverlayNetwork(sim, transport, OverlayConfig(), rng)
+    ids = sorted({random_id(rng) for _ in range(30)})
+    nodes = [network.create_node(node_id) for node_id in ids]
+    topology.attach_random([node.name for node in nodes], rng)
+    return sim, network, nodes, ids
+
+
+def bring_all_online(sim, network, nodes, rng=None, settle=240.0):
+    order = list(nodes)
+    if rng is not None:
+        rng.shuffle(order)
+    for node in order:
+        node.go_online(network.pick_bootstrap(exclude=node.node_id))
+        sim.run_until(sim.now + 1.0)
+    sim.run_until(sim.now + settle)
+
+
+class TestJoin:
+    def test_all_leafsets_converge(self, overlay):
+        sim, network, nodes, ids = overlay
+        bring_all_online(sim, network, nodes, np.random.default_rng(3))
+        for index, node_id in enumerate(ids):
+            node = network.nodes[node_id]
+            assert node.leafset.neighbour_cw() == ids[(index + 1) % len(ids)]
+            assert node.leafset.neighbour_ccw() == ids[(index - 1) % len(ids)]
+
+    def test_leafsets_full(self, overlay):
+        sim, network, nodes, _ = overlay
+        bring_all_online(sim, network, nodes, np.random.default_rng(3))
+        assert all(node.leafset.is_full() for node in nodes)
+
+    def test_online_count_tracks(self, overlay):
+        sim, network, nodes, _ = overlay
+        bring_all_online(sim, network, nodes)
+        assert network.online_count == 30
+        nodes[0].go_offline()
+        assert network.online_count == 29
+
+
+class TestRouting:
+    def test_routes_reach_closest_node(self, overlay):
+        sim, network, nodes, ids = overlay
+        bring_all_online(sim, network, nodes, np.random.default_rng(3))
+        deliveries = []
+        for node in nodes:
+            node.set_deliver(
+                lambda key, kind, payload, hops, node=node: deliveries.append(
+                    (key, node.node_id, hops)
+                )
+            )
+        rng = np.random.default_rng(8)
+        for _ in range(100):
+            source = nodes[int(rng.integers(0, len(nodes)))]
+            key = random_id(rng)
+            source.route(key, "T", None, 8)
+        sim.run_until(sim.now + 10.0)
+        assert len(deliveries) == 100
+        for key, node_id, _ in deliveries:
+            expected = min(ids, key=lambda c: (ring_distance(c, key), c))
+            assert node_id == expected
+
+    def test_hop_count_logarithmic(self, overlay):
+        sim, network, nodes, _ = overlay
+        bring_all_online(sim, network, nodes, np.random.default_rng(3))
+        hops = []
+        for node in nodes:
+            node.set_deliver(
+                lambda key, kind, payload, h: hops.append(h)
+            )
+        rng = np.random.default_rng(9)
+        for _ in range(60):
+            nodes[int(rng.integers(0, len(nodes)))].route(random_id(rng), "T", None, 8)
+        sim.run_until(sim.now + 10.0)
+        assert np.mean(hops) < 4.0  # log16(30) ~ 1.2 plus slack
+
+    def test_send_direct_single_hop(self, overlay):
+        sim, network, nodes, _ = overlay
+        bring_all_online(sim, network, nodes)
+        received = []
+        nodes[5].set_deliver(
+            lambda key, kind, payload, hops: received.append((kind, payload, hops))
+        )
+        nodes[0].send_direct(nodes[5].node_id, "PING", {"x": 1}, 16)
+        sim.run_until(sim.now + 1.0)
+        assert received == [("PING", {"x": 1}, 0)]
+
+    def test_send_direct_to_self_is_deferred_delivery(self, overlay):
+        sim, network, nodes, _ = overlay
+        bring_all_online(sim, network, nodes)
+        received = []
+        nodes[0].set_deliver(lambda *args: received.append(args))
+        nodes[0].send_direct(nodes[0].node_id, "SELF", None, 8)
+        assert received == []  # not synchronous
+        sim.run_until(sim.now + 0.1)
+        assert len(received) == 1
+
+
+class TestFailure:
+    def test_route_around_dead_node(self, overlay):
+        sim, network, nodes, ids = overlay
+        bring_all_online(sim, network, nodes, np.random.default_rng(3))
+        victim = nodes[10]
+        victim.go_offline()
+        # Route to a key the victim would have owned; retries must find
+        # the new closest live node.
+        key = victim.node_id
+        deliveries = []
+        for node in nodes:
+            node.set_deliver(
+                lambda k, kind, payload, hops, node=node: deliveries.append(
+                    node.node_id
+                )
+            )
+        nodes[0].route(key, "T", None, 8)
+        sim.run_until(sim.now + 5.0)
+        assert len(deliveries) == 1
+        live = [i for i in ids if i != victim.node_id]
+        expected = min(live, key=lambda c: (ring_distance(c, key), c))
+        assert deliveries[0] == expected
+
+    def test_failure_detector_repairs_leafsets(self, overlay):
+        sim, network, nodes, ids = overlay
+        bring_all_online(sim, network, nodes, np.random.default_rng(3))
+        victim = nodes[7]
+        victim.go_offline()
+        # After the detection delay plus repair exchange, no live node
+        # should list the victim.
+        sim.run_until(sim.now + 120.0)
+        for node in nodes:
+            if node.online:
+                assert victim.node_id not in node.leafset
+
+    def test_death_record_blocks_resurrection(self, overlay):
+        sim, network, nodes, _ = overlay
+        bring_all_online(sim, network, nodes)
+        node = nodes[0]
+        ghost = nodes[1].node_id
+        node.note_dead(ghost)
+        assert node.is_recorded_dead(ghost)
+        node.note_alive(ghost)
+        assert not node.is_recorded_dead(ghost)
+
+    def test_death_record_expires(self, overlay):
+        sim, network, nodes, _ = overlay
+        bring_all_online(sim, network, nodes)
+        node = nodes[0]
+        node.note_dead(12345)
+        sim.run_until(sim.now + network.config.death_record_ttl + 1.0)
+        assert not node.is_recorded_dead(12345)
+
+    def test_rejoin_after_failure(self, overlay):
+        sim, network, nodes, ids = overlay
+        bring_all_online(sim, network, nodes, np.random.default_rng(3))
+        victim = nodes[4]
+        victim.go_offline()
+        sim.run_until(sim.now + 100.0)
+        victim.go_online(network.pick_bootstrap(exclude=victim.node_id))
+        sim.run_until(sim.now + 240.0)
+        index = ids.index(victim.node_id)
+        assert victim.leafset.neighbour_cw() == ids[(index + 1) % len(ids)]
+
+    def test_replica_set_size(self, overlay):
+        sim, network, nodes, ids = overlay
+        bring_all_online(sim, network, nodes, np.random.default_rng(3))
+        replicas = nodes[0].replica_set(4)
+        assert len(replicas) == 4
+        # They are the actually-closest other nodes.
+        expected = sorted(
+            (i for i in ids if i != nodes[0].node_id),
+            key=lambda c: (ring_distance(c, nodes[0].node_id), c),
+        )[:4]
+        assert set(replicas) == set(expected)

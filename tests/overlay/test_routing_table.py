@@ -1,0 +1,92 @@
+"""Tests for the Pastry routing table."""
+
+import numpy as np
+
+from repro.overlay.ids import common_prefix_len, random_id
+from repro.overlay.routing_table import RoutingTable
+
+OWNER = 0xAAAAAAAAAAAAAAAAAAAAAAAAAAAAAAAA
+
+
+class TestAddLookup:
+    def test_add_and_lookup(self):
+        table = RoutingTable(OWNER)
+        other = 0xABAAAAAAAAAAAAAAAAAAAAAAAAAAAAAA  # shares 1 digit with owner
+        assert table.add(other)
+        # A key sharing the same first digit and second digit B routes there.
+        key = 0xAB00000000000000000000000000000F
+        assert table.lookup(key) == other
+
+    def test_owner_never_stored(self):
+        table = RoutingTable(OWNER)
+        assert not table.add(OWNER)
+        assert len(table) == 0
+
+    def test_add_keeps_first_entry(self):
+        table = RoutingTable(OWNER)
+        first = 0xB0000000000000000000000000000001
+        second = 0xB0000000000000000000000000000002
+        # Both land in row 0, column 0xB.
+        assert table.add(first)
+        assert not table.add(second)
+        assert first in table
+
+    def test_replace_overwrites(self):
+        table = RoutingTable(OWNER)
+        first = 0xB0000000000000000000000000000001
+        second = 0xBF000000000000000000000000000002
+        table.add(first)
+        table.replace(second)
+        assert second in table
+        assert first not in table
+
+    def test_remove(self):
+        table = RoutingTable(OWNER)
+        node = 0xB0000000000000000000000000000001
+        table.add(node)
+        assert table.remove(node)
+        assert node not in table
+        assert not table.remove(node)
+
+    def test_lookup_own_id_is_none(self):
+        table = RoutingTable(OWNER)
+        assert table.lookup(OWNER) is None
+
+
+class TestPrefixProperty:
+    def test_lookup_returns_longer_prefix_match(self):
+        rng = np.random.default_rng(8)
+        owner = random_id(rng)
+        table = RoutingTable(owner)
+        nodes = [random_id(rng) for _ in range(500)]
+        for node in nodes:
+            table.add(node)
+        for _ in range(100):
+            key = random_id(rng)
+            entry = table.lookup(key)
+            if entry is None:
+                continue
+            assert common_prefix_len(entry, key, 4) > common_prefix_len(
+                owner, key, 4
+            )
+
+    def test_row_entries(self):
+        rng = np.random.default_rng(3)
+        owner = random_id(rng)
+        table = RoutingTable(owner)
+        for _ in range(200):
+            table.add(random_id(rng))
+        for row in range(3):
+            for entry in table.row_entries(row):
+                assert common_prefix_len(owner, entry, 4) == row
+
+    def test_closer_candidates_share_prefix(self):
+        rng = np.random.default_rng(6)
+        owner = random_id(rng)
+        table = RoutingTable(owner)
+        for _ in range(300):
+            table.add(random_id(rng))
+        key = random_id(rng)
+        row = common_prefix_len(owner, key, 4)
+        for candidate in table.closer_candidates(key):
+            assert common_prefix_len(owner, candidate, 4) >= row

@@ -1,0 +1,80 @@
+"""Property-based tests: aggregate states form a commutative monoid.
+
+In-network aggregation combines partial results in whatever tree shape
+churn produces; correctness requires merge to be associative and
+commutative with an identity, and to agree with direct computation.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.db.aggregates import AGGREGATE_FUNCTIONS, AggregateState
+
+values_arrays = st.lists(
+    st.floats(min_value=-1e9, max_value=1e9, allow_nan=False), max_size=30
+).map(np.array)
+functions = st.sampled_from(AGGREGATE_FUNCTIONS)
+
+
+def state_of(func, values):
+    if len(values) == 0:
+        return AggregateState.empty(func)
+    return AggregateState.from_values(func, values)
+
+
+class TestMonoid:
+    @given(functions, values_arrays, values_arrays)
+    def test_commutative(self, func, a, b):
+        left = state_of(func, a).merge(state_of(func, b))
+        right = state_of(func, b).merge(state_of(func, a))
+        assert left.to_tuple() == right.to_tuple()
+
+    @given(functions, values_arrays, values_arrays, values_arrays)
+    def test_associative(self, func, a, b, c):
+        sa, sb, sc = (state_of(func, v) for v in (a, b, c))
+        left = sa.merge(sb).merge(sc)
+        right = sa.merge(sb.merge(sc))
+        assert left.count == right.count
+        assert np.isclose(left.total, right.total)
+        assert left.minimum == right.minimum
+        assert left.maximum == right.maximum
+
+    @given(functions, values_arrays)
+    def test_identity(self, func, values):
+        state = state_of(func, values)
+        merged = state.merge(AggregateState.empty(func))
+        assert merged.to_tuple() == state.to_tuple()
+
+    @given(functions, values_arrays, values_arrays)
+    def test_merge_equals_direct_computation(self, func, a, b):
+        merged = state_of(func, a).merge(state_of(func, b))
+        combined = np.concatenate([a, b])
+        direct = state_of(func, combined)
+        if direct.count == 0:
+            assert merged.result() == direct.result()
+            return
+        if func == "AVG":
+            assert np.isclose(merged.result(), direct.result())
+        elif func == "SUM":
+            assert np.isclose(merged.result(), direct.result())
+        else:
+            assert merged.result() == direct.result()
+
+    @given(functions, st.lists(values_arrays, min_size=1, max_size=8))
+    @settings(max_examples=50)
+    def test_any_fold_order_agrees(self, func, parts):
+        states = [state_of(func, part) for part in parts]
+        forward = AggregateState.empty(func)
+        for state in states:
+            forward = forward.merge(state)
+        backward = AggregateState.empty(func)
+        for state in reversed(states):
+            backward = backward.merge(state)
+        assert forward.count == backward.count
+        assert np.isclose(forward.total, backward.total)
+
+    @given(functions, values_arrays)
+    def test_tuple_roundtrip(self, func, values):
+        state = state_of(func, values)
+        assert AggregateState.from_tuple(state.to_tuple()).to_tuple() == state.to_tuple()

@@ -1,0 +1,82 @@
+"""Property-based tests for histogram estimation invariants."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.db.histogram import EquiDepthHistogram, FrequencyHistogram
+
+numeric_columns = arrays(
+    dtype=np.float64,
+    shape=st.integers(min_value=1, max_value=400),
+    elements=st.floats(min_value=-1e6, max_value=1e6, allow_nan=False),
+)
+
+
+class TestEquiDepthProperties:
+    @given(numeric_columns)
+    @settings(max_examples=60)
+    def test_total_mass_conserved(self, values):
+        histogram = EquiDepthHistogram.build(values, 16)
+        mass = histogram.counts.sum() + sum(histogram.mcv.values())
+        assert mass == len(values)
+
+    @given(numeric_columns, st.floats(min_value=-2e6, max_value=2e6, allow_nan=False))
+    @settings(max_examples=60)
+    def test_le_estimate_bounded(self, values, probe):
+        histogram = EquiDepthHistogram.build(values, 16)
+        estimate = histogram.estimate_le(probe)
+        assert -1e-9 <= estimate <= len(values) + 1e-9
+
+    @given(numeric_columns)
+    @settings(max_examples=60)
+    def test_le_estimate_monotone_in_probe(self, values):
+        histogram = EquiDepthHistogram.build(values, 16)
+        probes = np.linspace(values.min() - 1, values.max() + 1, 30)
+        estimates = [histogram.estimate_le(p) for p in probes]
+        assert all(b >= a - 1e-9 for a, b in zip(estimates, estimates[1:]))
+
+    @given(numeric_columns)
+    @settings(max_examples=60)
+    def test_full_range_counts_everything(self, values):
+        histogram = EquiDepthHistogram.build(values, 16)
+        estimate = histogram.estimate_range(values.min(), values.max())
+        assert estimate <= len(values) + 1e-9
+        assert estimate >= 0.5 * len(values)  # at least the bulk
+
+    @given(numeric_columns)
+    @settings(max_examples=60)
+    def test_eq_estimate_nonnegative(self, values):
+        histogram = EquiDepthHistogram.build(values, 16)
+        for probe in values[:10]:
+            assert histogram.estimate_eq(float(probe)) >= 0.0
+
+    @given(numeric_columns)
+    @settings(max_examples=30)
+    def test_exact_on_mcv_values(self, values):
+        histogram = EquiDepthHistogram.build(values, 8)
+        for value, count in histogram.mcv.items():
+            assert histogram.estimate_eq(value) == count
+            assert count == np.sum(values == value)
+
+
+class TestFrequencyProperties:
+    labels = st.lists(
+        st.sampled_from(["a", "b", "c", "d", "e"]), min_size=1, max_size=200
+    )
+
+    @given(labels)
+    def test_counts_exact_without_truncation(self, values):
+        arr = np.array(values, dtype=object)
+        histogram = FrequencyHistogram.build(arr)
+        for label in set(values):
+            assert histogram.estimate_eq(label) == values.count(label)
+
+    @given(labels)
+    def test_eq_plus_ne_is_total(self, values):
+        arr = np.array(values, dtype=object)
+        histogram = FrequencyHistogram.build(arr)
+        for label in set(values):
+            total = histogram.estimate_eq(label) + histogram.estimate_ne(label)
+            assert total == len(values)

@@ -1,0 +1,142 @@
+"""Property-based tests for identifier arithmetic and the vertex function."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.aggregation import leaf_vertex, parent_vertex, vertex_chain
+from repro.overlay.ids import (
+    ID_MASK,
+    ID_SPACE,
+    common_prefix_len,
+    common_suffix_len,
+    cw_distance,
+    in_wrapped_range,
+    replace_suffix,
+    ring_distance,
+    wrapped_midpoint,
+    wrapped_range_size,
+)
+
+ids = st.integers(min_value=0, max_value=ID_MASK)
+
+
+class TestDistanceProperties:
+    @given(ids, ids)
+    def test_ring_distance_symmetric(self, a, b):
+        assert ring_distance(a, b) == ring_distance(b, a)
+
+    @given(ids, ids)
+    def test_ring_distance_bounded(self, a, b):
+        assert 0 <= ring_distance(a, b) <= ID_SPACE // 2
+
+    @given(ids, ids)
+    def test_cw_distances_sum_to_ring(self, a, b):
+        if a != b:
+            assert cw_distance(a, b) + cw_distance(b, a) == ID_SPACE
+
+    @given(ids)
+    def test_self_distance_zero(self, a):
+        assert ring_distance(a, a) == 0
+        assert cw_distance(a, a) == 0
+
+
+class TestPrefixSuffixProperties:
+    @given(ids, ids)
+    def test_prefix_suffix_sum_bound(self, a, b):
+        if a != b:
+            # Prefix and suffix matches cannot overlap past the difference.
+            assert common_prefix_len(a, b, 4) + common_suffix_len(a, b, 4) <= 32
+
+    @given(ids, ids, st.integers(min_value=0, max_value=32))
+    def test_replace_suffix_matches(self, target, source, count):
+        result = replace_suffix(target, source, count, 4)
+        assert common_suffix_len(result, source, 4) >= count
+
+    @given(ids, ids)
+    def test_replace_suffix_identity(self, target, source):
+        assert replace_suffix(target, source, 0, 4) == target
+        assert replace_suffix(target, source, 32, 4) == source
+
+
+class TestRangeProperties:
+    @given(ids, ids)
+    def test_midpoint_inside_range(self, lo, hi):
+        mid = wrapped_midpoint(lo, hi)
+        if wrapped_range_size(lo, hi) > 1:
+            assert in_wrapped_range(mid, lo, hi)
+
+    @given(ids, ids)
+    def test_split_partitions_range(self, lo, hi):
+        mid = wrapped_midpoint(lo, hi)
+        if mid == lo:
+            return  # size-1 range cannot be split
+        assert (
+            wrapped_range_size(lo, mid) + wrapped_range_size(mid, hi)
+            == wrapped_range_size(lo, hi)
+        )
+
+    @given(ids, ids, ids)
+    def test_membership_in_exactly_one_half(self, lo, hi, x):
+        if not in_wrapped_range(x, lo, hi):
+            return
+        mid = wrapped_midpoint(lo, hi)
+        if mid == lo:
+            return
+        in_first = in_wrapped_range(x, lo, mid)
+        in_second = in_wrapped_range(x, mid, hi)
+        assert in_first != in_second
+
+
+class TestVertexFunctionProperties:
+    @given(ids, ids)
+    @settings(max_examples=300)
+    def test_chain_converges_to_query_id(self, query_id, start):
+        chain = vertex_chain(query_id, start, 4)
+        assert chain[-1] == query_id
+        assert len(chain) <= 33  # at most one step per digit
+
+    @given(ids, ids)
+    def test_parent_increases_suffix_match(self, query_id, vertex_id):
+        if vertex_id == query_id:
+            return
+        parent = parent_vertex(query_id, vertex_id, 4)
+        assert common_suffix_len(parent, query_id, 4) > common_suffix_len(
+            vertex_id, query_id, 4
+        )
+
+    @given(ids, ids)
+    def test_parent_is_deterministic_function(self, query_id, vertex_id):
+        if vertex_id == query_id:
+            return
+        assert parent_vertex(query_id, vertex_id, 4) == parent_vertex(
+            query_id, vertex_id, 4
+        )
+
+    @given(ids, ids)
+    def test_siblings_share_parent(self, query_id, vertex_id):
+        """Vertices differing only in the first unmatched digit share a parent."""
+        if vertex_id == query_id:
+            return
+        matched = common_suffix_len(query_id, vertex_id, 4)
+        if matched >= 32:
+            return
+        parent = parent_vertex(query_id, vertex_id, 4)
+        # Build a sibling by flipping the digit at the matched position.
+        shift = matched * 4
+        sibling = vertex_id ^ (0x3 << shift)
+        if sibling == query_id or common_suffix_len(query_id, sibling, 4) != matched:
+            return
+        assert parent_vertex(query_id, sibling, 4) == parent
+
+    @given(ids, ids)
+    def test_leaf_vertex_with_always_closest_reaches_root(self, query_id, own):
+        assert leaf_vertex(query_id, own, lambda _: True, 4) == query_id
+
+    @given(ids, ids)
+    def test_leaf_vertex_with_never_closest_is_first_parent(self, query_id, own):
+        if own == query_id:
+            assert leaf_vertex(query_id, own, lambda _: False, 4) == query_id
+            return
+        assert leaf_vertex(query_id, own, lambda _: False, 4) == parent_vertex(
+            query_id, own, 4
+        )

@@ -1,0 +1,60 @@
+"""Property-based tests for leafset invariants."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.overlay.ids import ID_MASK, cw_distance, ring_distance
+from repro.overlay.leafset import Leafset
+
+ids = st.integers(min_value=0, max_value=ID_MASK)
+
+
+class TestLeafsetProperties:
+    @given(ids, st.lists(ids, max_size=60))
+    @settings(max_examples=80)
+    def test_sides_keep_closest_members(self, owner, members):
+        leafset = Leafset(owner, size=8)
+        for member in members:
+            leafset.add(member)
+        others = [m for m in set(members) if m != owner]
+        # Clockwise side must hold the 4 members with smallest cw distance.
+        expected_cw = sorted(others, key=lambda m: cw_distance(owner, m))[:4]
+        assert set(leafset.cw_members) == set(expected_cw)
+        expected_ccw = sorted(others, key=lambda m: cw_distance(m, owner))[:4]
+        assert set(leafset.ccw_members) == set(expected_ccw)
+
+    @given(ids, st.lists(ids, max_size=40), ids)
+    @settings(max_examples=80)
+    def test_closest_is_truly_closest_among_known(self, owner, members, key):
+        leafset = Leafset(owner, size=8)
+        for member in members:
+            leafset.add(member)
+        closest = leafset.closest(key)
+        for candidate in leafset.members + [owner]:
+            assert ring_distance(closest, key) <= ring_distance(candidate, key)
+
+    @given(ids, st.lists(ids, max_size=40))
+    @settings(max_examples=80)
+    def test_add_remove_roundtrip(self, owner, members):
+        leafset = Leafset(owner, size=8)
+        for member in members:
+            leafset.add(member)
+        for member in list(leafset.members):
+            leafset.remove(member)
+        assert len(leafset) == 0
+
+    @given(ids, st.lists(ids, min_size=1, max_size=40))
+    @settings(max_examples=80)
+    def test_merge_idempotent(self, owner, members):
+        leafset = Leafset(owner, size=8)
+        leafset.merge(members)
+        snapshot = set(leafset.members)
+        assert not leafset.merge(members)  # second merge changes nothing
+        assert set(leafset.members) == snapshot
+
+    @given(ids, st.lists(ids, max_size=40))
+    @settings(max_examples=80)
+    def test_owner_never_member(self, owner, members):
+        leafset = Leafset(owner, size=8)
+        leafset.merge(members + [owner])
+        assert owner not in leafset.members

@@ -1,0 +1,84 @@
+"""Property-based tests for completeness predictor invariants."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.predictor import CompletenessPredictor
+
+contributions = st.lists(
+    st.tuples(
+        st.floats(min_value=0.0, max_value=20 * 86400.0, allow_nan=False),
+        st.floats(min_value=0.0, max_value=1e6, allow_nan=False),
+    ),
+    max_size=40,
+)
+
+
+def build(entries) -> CompletenessPredictor:
+    predictor = CompletenessPredictor(24, 14 * 86400.0)
+    for delay, rows in entries:
+        if delay == 0.0:
+            predictor.add_immediate(rows)
+        else:
+            predictor.add_at_delay(delay, rows)
+    return predictor
+
+
+class TestInvariants:
+    @given(contributions)
+    def test_total_is_conserved(self, entries):
+        predictor = build(entries)
+        expected = sum(rows for _, rows in entries)
+        assert np.isclose(predictor.expected_total, expected)
+
+    @given(contributions)
+    def test_cumulative_monotone(self, entries):
+        predictor = build(entries)
+        delays = np.logspace(0, 6.2, 40)
+        series = predictor.series(delays)
+        assert (np.diff(series) >= -1e-6).all()
+
+    @given(contributions)
+    def test_cumulative_bounded_by_total(self, entries):
+        predictor = build(entries)
+        for delay in (0.0, 60.0, 3600.0, 86400.0, 20 * 86400.0):
+            value = predictor.cumulative_at(delay)
+            assert -1e-6 <= value <= predictor.expected_total + 1e-6
+
+    @given(contributions)
+    def test_endsystem_count_matches_contributions(self, entries):
+        predictor = build(entries)
+        assert predictor.endsystems == len(entries)
+
+    @given(contributions, contributions)
+    def test_merge_conserves_mass(self, left_entries, right_entries):
+        merged = build(left_entries).merge(build(right_entries))
+        expected = sum(rows for _, rows in left_entries) + sum(
+            rows for _, rows in right_entries
+        )
+        assert np.isclose(merged.expected_total, expected)
+
+    @given(contributions, contributions)
+    @settings(max_examples=50)
+    def test_merge_pointwise_additive(self, left_entries, right_entries):
+        left = build(left_entries)
+        right = build(right_entries)
+        merged = left.merge(right)
+        for delay in (0.0, 100.0, 3600.0, 86400.0):
+            assert np.isclose(
+                merged.cumulative_at(delay),
+                left.cumulative_at(delay) + right.cumulative_at(delay),
+            )
+
+    @given(contributions)
+    def test_time_to_completeness_is_inverse(self, entries):
+        predictor = build(entries)
+        if predictor.expected_total <= 0:
+            return
+        for fraction in (0.25, 0.5, 0.9):
+            t = predictor.time_to_completeness(fraction)
+            if t == float("inf") or t == 0.0:
+                continue
+            achieved = predictor.cumulative_at(t) / predictor.expected_total
+            assert achieved >= fraction - 0.05

@@ -1,0 +1,210 @@
+"""Tests for the discrete-event simulator."""
+
+import pytest
+
+from repro.sim import SimClock, SimulationError, Simulator
+
+
+class TestScheduling:
+    def test_events_fire_in_time_order(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule(3.0, fired.append, "c")
+        sim.schedule(1.0, fired.append, "a")
+        sim.schedule(2.0, fired.append, "b")
+        sim.run()
+        assert fired == ["a", "b", "c"]
+
+    def test_same_time_events_fire_in_schedule_order(self):
+        sim = Simulator()
+        fired = []
+        for tag in range(10):
+            sim.schedule(5.0, fired.append, tag)
+        sim.run()
+        assert fired == list(range(10))
+
+    def test_now_advances_to_event_time(self):
+        sim = Simulator()
+        observed = []
+        sim.schedule(7.5, lambda: observed.append(sim.now))
+        sim.run()
+        assert observed == [7.5]
+
+    def test_schedule_in_past_raises(self):
+        sim = Simulator()
+        with pytest.raises(SimulationError):
+            sim.schedule(-1.0, lambda: None)
+
+    def test_schedule_at_absolute_time(self):
+        sim = Simulator()
+        sim.schedule(5.0, lambda: None)
+        sim.run()
+        with pytest.raises(SimulationError):
+            sim.schedule_at(1.0, lambda: None)
+
+    def test_nan_time_rejected(self):
+        sim = Simulator()
+        with pytest.raises(SimulationError):
+            sim.schedule_at(float("nan"), lambda: None)
+
+    def test_kwargs_are_bound(self):
+        sim = Simulator()
+        seen = {}
+        sim.schedule(1.0, seen.update, key="value")
+        sim.run()
+        assert seen == {"key": "value"}
+
+    def test_callback_can_schedule_more_events(self):
+        sim = Simulator()
+        fired = []
+
+        def chain(n):
+            fired.append(n)
+            if n < 3:
+                sim.schedule(1.0, chain, n + 1)
+
+        sim.schedule(1.0, chain, 0)
+        sim.run()
+        assert fired == [0, 1, 2, 3]
+        assert sim.now == 4.0
+
+
+class TestCancellation:
+    def test_cancelled_event_does_not_fire(self):
+        sim = Simulator()
+        fired = []
+        handle = sim.schedule(1.0, fired.append, "x")
+        handle.cancel()
+        sim.run()
+        assert fired == []
+
+    def test_cancel_is_idempotent(self):
+        sim = Simulator()
+        handle = sim.schedule(1.0, lambda: None)
+        handle.cancel()
+        handle.cancel()
+        assert handle.cancelled
+
+    def test_drain_cancelled_compacts_queue(self):
+        sim = Simulator()
+        handles = [sim.schedule(float(i + 1), lambda: None) for i in range(100)]
+        for handle in handles[:90]:
+            handle.cancel()
+        sim.drain_cancelled()
+        assert sim.pending_events == 10
+
+
+class TestRunUntil:
+    def test_run_until_stops_at_boundary(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule(1.0, fired.append, 1)
+        sim.schedule(5.0, fired.append, 5)
+        sim.run_until(3.0)
+        assert fired == [1]
+        assert sim.now == 3.0
+
+    def test_run_until_executes_boundary_events(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule(3.0, fired.append, 3)
+        sim.run_until(3.0)
+        assert fired == [3]
+
+    def test_run_until_backwards_raises(self):
+        sim = Simulator()
+        sim.run_until(10.0)
+        with pytest.raises(SimulationError):
+            sim.run_until(5.0)
+
+    def test_run_max_events(self):
+        sim = Simulator()
+        for i in range(10):
+            sim.schedule(float(i + 1), lambda: None)
+        count = sim.run(max_events=4)
+        assert count == 4
+        assert sim.pending_events == 6
+
+
+class TestPeriodicTimer:
+    def test_periodic_fires_repeatedly(self):
+        sim = Simulator()
+        fired = []
+        timer = sim.schedule_periodic(2.0, lambda: fired.append(sim.now))
+        sim.run_until(7.0)
+        assert fired == [2.0, 4.0, 6.0]
+        timer.cancel()
+
+    def test_periodic_first_delay(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule_periodic(5.0, lambda: fired.append(sim.now), first_delay=1.0)
+        sim.run_until(12.0)
+        assert fired == [1.0, 6.0, 11.0]
+
+    def test_cancel_stops_timer(self):
+        sim = Simulator()
+        fired = []
+        timer = sim.schedule_periodic(1.0, lambda: fired.append(sim.now))
+        sim.run_until(3.5)
+        timer.cancel()
+        sim.run_until(10.0)
+        assert fired == [1.0, 2.0, 3.0]
+
+    def test_cancel_from_within_callback(self):
+        sim = Simulator()
+        fired = []
+        timer = sim.schedule_periodic(1.0, lambda: (fired.append(sim.now), timer.cancel()))
+        sim.run_until(5.0)
+        assert fired == [1.0]
+
+    def test_invalid_period_raises(self):
+        sim = Simulator()
+        with pytest.raises(SimulationError):
+            sim.schedule_periodic(0.0, lambda: None)
+
+
+class TestSimClock:
+    def test_hour_of_day_at_epoch(self):
+        clock = SimClock()
+        assert clock.hour_of_day(0.0) == 0.0
+
+    def test_hour_of_day_wraps(self):
+        clock = SimClock()
+        assert clock.hour_of_day(25 * 3600.0) == pytest.approx(1.0)
+
+    def test_epoch_offset(self):
+        clock = SimClock(epoch_weekday=2, epoch_hour=9.0)
+        assert clock.hour_of_day(0.0) == pytest.approx(9.0)
+        assert clock.day_of_week(0.0) == 2
+
+    def test_day_of_week_cycles(self):
+        clock = SimClock()
+        assert clock.day_of_week(0.0) == 0
+        assert clock.day_of_week(6 * 86400.0) == 6
+        assert clock.day_of_week(7 * 86400.0) == 0
+
+    def test_is_weekend(self):
+        clock = SimClock()
+        assert not clock.is_weekend(4 * 86400.0)  # Friday
+        assert clock.is_weekend(5 * 86400.0)  # Saturday
+        assert clock.is_weekend(6 * 86400.0)  # Sunday
+
+    def test_seconds_until_hour_future(self):
+        clock = SimClock()
+        assert clock.seconds_until_hour(0.0, 6.0) == pytest.approx(6 * 3600.0)
+
+    def test_seconds_until_hour_past_wraps_to_tomorrow(self):
+        clock = SimClock()
+        t = 12 * 3600.0
+        assert clock.seconds_until_hour(t, 6.0) == pytest.approx(18 * 3600.0)
+
+    def test_seconds_until_hour_now_is_full_day(self):
+        clock = SimClock()
+        assert clock.seconds_until_hour(6 * 3600.0, 6.0) == pytest.approx(86400.0)
+
+    def test_invalid_epoch_rejected(self):
+        with pytest.raises(ValueError):
+            SimClock(epoch_weekday=9)
+        with pytest.raises(ValueError):
+            SimClock(epoch_hour=25.0)

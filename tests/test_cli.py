@@ -1,0 +1,53 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_models_defaults(self):
+        args = build_parser().parse_args(["models"])
+        assert args.N == 300_000
+        assert args.u == 970.0
+
+    def test_trace_kind_validated(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["trace", "--kind", "bittorrent"])
+
+
+class TestCommands:
+    def test_models_runs(self, capsys):
+        assert main(["models"]) == 0
+        out = capsys.readouterr().out
+        assert "seaweed" in out
+        assert "crossover" in out
+
+    def test_models_with_overrides(self, capsys):
+        assert main(["models", "--N", "1000", "--u", "10"]) == 0
+        assert "maintenance bandwidth" in capsys.readouterr().out
+
+    def test_trace_runs(self, capsys):
+        assert main(["trace", "--population", "120", "--days", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "mean availability" in out
+
+    def test_predict_runs(self, capsys):
+        assert (
+            main(
+                [
+                    "predict",
+                    "--population", "300",
+                    "--profiles", "10",
+                    "--inject-day", "8",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "predicted" in out
+        assert "total-count error" in out

@@ -1,0 +1,153 @@
+"""Tests for availability schedules and trace statistics."""
+
+import numpy as np
+import pytest
+
+from repro.sim import SimClock
+from repro.traces import AvailabilitySchedule, TraceSet
+
+
+@pytest.fixture
+def schedule() -> AvailabilitySchedule:
+    # Up [0, 100), [200, 300), [500, 600) over a horizon of 1000.
+    return AvailabilitySchedule.from_intervals(
+        [(0.0, 100.0), (200.0, 300.0), (500.0, 600.0)], horizon=1000.0
+    )
+
+
+class TestIntervals:
+    def test_is_available(self, schedule):
+        assert schedule.is_available(50.0)
+        assert not schedule.is_available(150.0)
+        assert schedule.is_available(200.0)
+        assert not schedule.is_available(300.0)  # half-open
+
+    def test_next_available_when_up(self, schedule):
+        assert schedule.next_available(250.0) == 250.0
+
+    def test_next_available_when_down(self, schedule):
+        assert schedule.next_available(150.0) == 200.0
+
+    def test_next_available_never(self, schedule):
+        assert schedule.next_available(700.0) == float("inf")
+
+    def test_interval_containing(self, schedule):
+        assert schedule.interval_containing(250.0) == (200.0, 300.0)
+        assert schedule.interval_containing(150.0) is None
+
+    def test_merging_touching_intervals(self):
+        merged = AvailabilitySchedule.from_intervals(
+            [(0.0, 100.0), (100.0, 200.0)], horizon=500.0
+        )
+        assert merged.num_sessions == 1
+
+    def test_overlapping_intervals_merged(self):
+        merged = AvailabilitySchedule.from_intervals(
+            [(0.0, 150.0), (100.0, 200.0)], horizon=500.0
+        )
+        assert merged.num_sessions == 1
+        assert merged.availability_fraction() == pytest.approx(0.4)
+
+    def test_clipping_to_horizon(self):
+        clipped = AvailabilitySchedule.from_intervals(
+            [(-50.0, 60.0), (900.0, 2000.0)], horizon=1000.0
+        )
+        assert clipped.up_starts[0] == 0.0
+        assert clipped.up_ends[-1] == 1000.0
+
+    def test_invalid_interval_rejected(self):
+        with pytest.raises(ValueError):
+            AvailabilitySchedule(np.array([10.0]), np.array([5.0]), 100.0)
+
+    def test_overlap_rejected_in_constructor(self):
+        with pytest.raises(ValueError):
+            AvailabilitySchedule(
+                np.array([0.0, 5.0]), np.array([10.0, 20.0]), 100.0
+            )
+
+
+class TestDerivedSeries:
+    def test_transitions(self, schedule):
+        events = list(schedule.transitions())
+        assert events == [
+            (0.0, True),
+            (100.0, False),
+            (200.0, True),
+            (300.0, False),
+            (500.0, True),
+            (600.0, False),
+        ]
+
+    def test_transition_at_horizon_suppressed(self):
+        schedule = AvailabilitySchedule.from_intervals([(0.0, 1000.0)], 1000.0)
+        assert list(schedule.transitions()) == [(0.0, True)]
+
+    def test_availability_fraction(self, schedule):
+        assert schedule.availability_fraction() == pytest.approx(0.3)
+
+    def test_up_time_between(self, schedule):
+        assert schedule.up_time_between(50.0, 250.0) == pytest.approx(100.0)
+
+    def test_down_durations(self, schedule):
+        assert list(schedule.down_durations()) == [100.0, 200.0]
+
+    def test_up_event_hours(self, schedule):
+        hours = schedule.up_event_hours(SimClock())
+        assert list(hours) == [0, 0, 0]  # all events within the first hour
+
+    def test_departures_in(self, schedule):
+        assert schedule.departures_in(0.0, 1000.0) == 3
+        assert schedule.departures_in(0.0, 150.0) == 1
+
+    def test_always_on(self):
+        schedule = AvailabilitySchedule.always_on(500.0)
+        assert schedule.availability_fraction() == 1.0
+        assert schedule.is_available(499.0)
+
+    def test_always_off(self):
+        schedule = AvailabilitySchedule.always_off(500.0)
+        assert schedule.availability_fraction() == 0.0
+        assert schedule.next_available(0.0) == float("inf")
+
+
+class TestTraceSet:
+    @pytest.fixture
+    def trace(self, schedule) -> TraceSet:
+        other = AvailabilitySchedule.always_on(1000.0)
+        return TraceSet([schedule, other], horizon=1000.0)
+
+    def test_mean_availability(self, trace):
+        assert trace.mean_availability() == pytest.approx((0.3 + 1.0) / 2)
+
+    def test_available_count(self, trace):
+        assert trace.available_count(50.0) == 2
+        assert trace.available_count(150.0) == 1
+
+    def test_departure_rate(self, trace):
+        total_up = 300.0 + 1000.0
+        assert trace.departure_rate() == pytest.approx(3 / total_up)
+
+    def test_churn_rate(self, trace):
+        # Schedule: 6 transitions; always-on: 1 (the initial up).
+        assert trace.churn_rate() == pytest.approx(7 / (2 * 1000.0))
+
+    def test_subset(self, trace, rng):
+        sub = trace.subset(1, rng)
+        assert len(sub) == 1
+
+    def test_subset_too_large(self, trace, rng):
+        with pytest.raises(ValueError):
+            trace.subset(3, rng)
+
+    def test_assign_with_replacement(self, trace, rng):
+        assigned = trace.assign(10, rng)
+        assert len(assigned) == 10
+
+    def test_empty_traceset_rejected(self):
+        with pytest.raises(ValueError):
+            TraceSet([], 100.0)
+
+    def test_hourly_series(self, trace):
+        times, counts = trace.hourly_series(0.0, 1000.0)
+        assert len(times) == 1  # horizon shorter than one hour of samples
+        assert counts[0] == 2

@@ -1,0 +1,108 @@
+"""Calibration tests for the Farsite-like and Gnutella-like generators.
+
+These pin the statistics the paper's evaluation depends on: mean
+availability, departure rates, diurnal structure, and churn separation
+between the enterprise and peer-to-peer environments.
+"""
+
+import numpy as np
+import pytest
+
+from repro.sim import SECONDS_PER_DAY, SimClock
+from repro.traces import (
+    FarsiteParams,
+    GnutellaParams,
+    generate_farsite_trace,
+    generate_gnutella_trace,
+)
+
+
+@pytest.fixture(scope="module")
+def farsite():
+    return generate_farsite_trace(
+        1500, horizon=14 * SECONDS_PER_DAY, rng=np.random.default_rng(11)
+    )
+
+
+@pytest.fixture(scope="module")
+def gnutella():
+    return generate_gnutella_trace(800, rng=np.random.default_rng(12))
+
+
+class TestFarsiteCalibration:
+    def test_mean_availability_near_081(self, farsite):
+        # Paper (Farsite): 81% of endsystems available on average.
+        assert 0.77 <= farsite.mean_availability() <= 0.85
+
+    def test_departure_rate_order(self, farsite):
+        # Paper: 4.06e-6 departures per online endsystem per second.
+        rate = farsite.departure_rate()
+        assert 1e-6 < rate < 1e-5
+
+    def test_churn_rate_order(self, farsite):
+        # Paper Table 1: c = 6.9e-6 per endsystem per second.
+        assert 1e-6 < farsite.churn_rate() < 2e-5
+
+    def test_diurnal_pattern_visible(self, farsite):
+        times, counts = farsite.hourly_series(0.0, 7 * SECONDS_PER_DAY)
+        swing = (counts.max() - counts.min()) / counts.mean()
+        assert swing > 0.1  # clear day/night structure (Fig. 1)
+
+    def test_week_structure_repeats(self, farsite):
+        _, week1 = farsite.hourly_series(0.0, 7 * SECONDS_PER_DAY)
+        _, week2 = farsite.hourly_series(
+            7 * SECONDS_PER_DAY, 14 * SECONDS_PER_DAY
+        )
+        correlation = np.corrcoef(week1, week2)[0, 1]
+        assert correlation > 0.7
+
+    def test_office_up_events_cluster_in_morning(self):
+        params = FarsiteParams(frac_server=0.0, frac_office=1.0, frac_flaky=0.0)
+        trace = generate_farsite_trace(
+            50, horizon=14 * SECONDS_PER_DAY,
+            rng=np.random.default_rng(3), params=params,
+        )
+        clock = SimClock()
+        hours = np.concatenate(
+            [schedule.up_event_hours(clock) for schedule in trace.schedules]
+        )
+        morning = np.mean((hours >= 5) & (hours <= 12))
+        assert morning > 0.8
+
+    def test_fraction_validation(self):
+        with pytest.raises(ValueError):
+            FarsiteParams(frac_server=0.9, frac_office=0.9, frac_flaky=0.0)
+
+    def test_deterministic_given_rng(self):
+        a = generate_farsite_trace(30, horizon=SECONDS_PER_DAY, rng=np.random.default_rng(7))
+        b = generate_farsite_trace(30, horizon=SECONDS_PER_DAY, rng=np.random.default_rng(7))
+        assert a.mean_availability() == b.mean_availability()
+
+
+class TestGnutellaCalibration:
+    def test_departure_rate_high_churn(self, gnutella):
+        # Paper: 9.46e-5 departures per online endsystem per second.
+        rate = gnutella.departure_rate()
+        assert 3e-5 < rate < 3e-4
+
+    def test_churn_ratio_vs_farsite(self, farsite, gnutella):
+        # Paper: the Gnutella departure rate is ~23x the Farsite one.
+        ratio = gnutella.departure_rate() / farsite.departure_rate()
+        assert 5 < ratio < 100
+
+    def test_low_availability(self, gnutella):
+        assert gnutella.mean_availability() < 0.6
+
+    def test_no_strong_diurnal_structure(self, gnutella):
+        _, counts = gnutella.hourly_series(0.0, gnutella.horizon)
+        # Hour-over-hour autocorrelation at lag 24 should be weak.
+        if len(counts) > 48:
+            series = counts - counts.mean()
+            lag24 = np.corrcoef(series[:-24], series[24:])[0, 1]
+            assert abs(lag24) < 0.5
+
+    def test_lognormal_mu_matches_mean(self):
+        params = GnutellaParams()
+        mu = params.lognormal_mu(2.0, 1.0)
+        draws = np.random.default_rng(0).lognormal(mu, 1.0, 200_000)
+        assert draws.mean() == pytest.approx(2.0 * 3600.0, rel=0.05)

@@ -1,0 +1,109 @@
+"""Tests for the Anemone workload generator."""
+
+import numpy as np
+import pytest
+
+from repro.workload.anemone import (
+    FLOW_INTERVAL,
+    AnemoneDataset,
+    AnemoneParams,
+    flow_schema,
+    packet_schema,
+)
+from repro.workload.queries import PAPER_QUERIES, paper_query
+
+
+class TestSchemas:
+    def test_flow_indexed_columns(self):
+        indexed = {column.name for column in flow_schema().indexed_columns}
+        # The paper's five histograms per endsystem.
+        assert indexed == {"ts", "SrcPort", "LocalPort", "Bytes", "App"}
+
+    def test_packet_schema_columns(self):
+        names = packet_schema().column_names
+        assert "Direction" in names
+        assert "Size" in names
+
+
+class TestDataset:
+    def test_profiles_generated(self, small_dataset):
+        assert small_dataset.num_profiles == 8
+        assert len(small_dataset.databases) == 8
+
+    def test_tables_populated(self, small_dataset):
+        db = small_dataset.database(0)
+        assert db.total_rows("Flow") > 0
+        assert db.total_rows("Packet") > 0
+
+    def test_activity_levels_vary(self, small_dataset):
+        rows = [db.total_rows("Flow") for db in small_dataset.databases]
+        assert max(rows) > 2 * min(rows)  # heavy-tailed per-host levels
+
+    def test_assignment_shape(self, small_dataset, rng):
+        assignment = small_dataset.assign_profiles(100, rng)
+        assert len(assignment) == 100
+        assert assignment.min() >= 0
+        assert assignment.max() < 8
+
+    def test_service_port_mix(self, small_dataset):
+        db = small_dataset.database(1)
+        ports = np.concatenate(
+            [db.table("Flow").column("SrcPort"), db.table("Flow").column("DstPort")]
+        )
+        # HTTP must be the most popular service port.
+        assert np.sum(ports == 80) > np.sum(ports == 445)
+        assert np.sum(ports == 80) > 0
+
+    def test_apps_consistent_with_ports(self, small_dataset):
+        db = small_dataset.database(2)
+        table = db.table("Flow")
+        apps = table.column("App")
+        src = table.column("SrcPort")
+        dst = table.column("DstPort")
+        smb_mask = apps == "SMB"
+        if smb_mask.any():
+            service = np.where(np.isin(src[smb_mask], (445, 139)), src[smb_mask], dst[smb_mask])
+            assert np.isin(service, (445, 139)).all()
+
+    def test_interval_constant(self, small_dataset):
+        db = small_dataset.database(0)
+        assert (db.table("Flow").column("Interval") == FLOW_INTERVAL).all()
+
+    def test_bytes_positive_and_heavy_tailed(self, small_dataset):
+        sizes = small_dataset.database(0).table("Flow").column("Bytes")
+        assert sizes.min() >= 64
+        assert sizes.mean() > np.median(sizes)  # right-skewed
+
+    def test_mean_database_bytes(self, small_dataset):
+        assert small_dataset.mean_database_bytes() > 1000
+
+    def test_deterministic_given_seed(self):
+        params = AnemoneParams(flows_per_day=20.0, days=3.0)
+        a = AnemoneDataset(3, params, np.random.default_rng(5))
+        b = AnemoneDataset(3, params, np.random.default_rng(5))
+        for db_a, db_b in zip(a.databases, b.databases):
+            assert db_a.total_rows("Flow") == db_b.total_rows("Flow")
+
+    def test_invalid_profile_count(self):
+        with pytest.raises(ValueError):
+            AnemoneDataset(0)
+
+
+class TestPaperQueries:
+    def test_all_queries_run(self, small_dataset):
+        db = small_dataset.database(0)
+        for query in PAPER_QUERIES:
+            result = db.execute(query.parse())
+            assert result.row_count >= 0
+
+    def test_queries_select_nontrivial_subsets(self, small_dataset):
+        db = small_dataset.database(3)
+        total = db.total_rows("Flow")
+        for query in PAPER_QUERIES:
+            matched = db.relevant_row_count(query.parse())
+            assert 0 < matched < total
+
+    def test_lookup_by_figure(self):
+        assert paper_query("Fig5").sql.startswith("SELECT SUM(Bytes)")
+        with pytest.raises(KeyError):
+            paper_query("Fig99")

@@ -1,0 +1,95 @@
+"""Observability overhead: a disabled observer must cost ~nothing.
+
+The instrumentation contract (DESIGN.md §6.7) is that an unobserved run
+pays one ``is None`` check per hot-path event.  These benches time the
+same small packet-level deployment with no observer and with an
+explicitly disabled one, and the raw simulator loop with and without a
+profiler, printing the measured wall times.  Thresholds are generous —
+the point is to catch an accidental always-on record-building path
+(which shows up as 2x+), not to detect single-digit-percent noise.
+"""
+
+from __future__ import annotations
+
+from time import perf_counter
+
+import numpy as np
+
+from repro.core.system import SeaweedSystem
+from repro.obs import Observer, SimProfiler
+from repro.sim.simulator import Simulator
+from repro.traces.availability import AvailabilitySchedule, TraceSet
+from repro.workload.anemone import AnemoneDataset, AnemoneParams
+
+HORIZON = 7 * 86400.0
+
+
+def _run_deployment(observer) -> float:
+    schedules = [AvailabilitySchedule.always_on(HORIZON) for _ in range(30)]
+    trace = TraceSet(schedules, HORIZON)
+    dataset = AnemoneDataset(
+        num_profiles=8,
+        params=AnemoneParams(flows_per_day=40.0, days=7.0),
+        rng=np.random.default_rng(7),
+    )
+    start = perf_counter()
+    system = SeaweedSystem(
+        trace,
+        dataset,
+        num_endsystems=30,
+        master_seed=11,
+        startup_stagger=30.0,
+        observer=observer,
+    )
+    system.run_until(120.0)
+    system.inject_query("SELECT COUNT(*) FROM Flow WHERE SrcPort = 80")
+    system.run_until(900.0)
+    return perf_counter() - start
+
+
+def test_disabled_observer_within_noise_of_none():
+    """A disabled Observer must behave exactly like no observer."""
+    # Interleave and take minima so one GC pause cannot decide the test.
+    none_times, disabled_times = [], []
+    _run_deployment(None)  # warm caches (imports, JIT-ish dict sizing)
+    for _ in range(3):
+        none_times.append(_run_deployment(None))
+        disabled_times.append(_run_deployment(Observer.disabled()))
+    baseline = min(none_times)
+    disabled = min(disabled_times)
+    print(
+        f"\ndeployment run: no observer {baseline:.3f}s, "
+        f"disabled observer {disabled:.3f}s "
+        f"(ratio {disabled / baseline:.2f})"
+    )
+    # Identical code path (components store None either way); 1.5x
+    # absorbs scheduler/allocator noise on loaded CI machines.
+    assert disabled < baseline * 1.5
+
+
+def test_null_profiler_loop_cost():
+    """The event loop without a profiler must not be slower than with one."""
+
+    def drive(profiler) -> float:
+        sim = Simulator(profiler=profiler)
+
+        def chain(remaining: int) -> None:
+            if remaining:
+                sim.schedule(1.0, chain, remaining - 1)
+
+        start = perf_counter()
+        for _ in range(200):
+            sim.schedule(1.0, chain, 500)
+        sim.run_until(600.0)
+        return perf_counter() - start
+
+    drive(None)  # warmup
+    bare = min(drive(None) for _ in range(3))
+    profiled = min(drive(SimProfiler()) for _ in range(3))
+    print(
+        f"\nsimulator loop (100k events): bare {bare:.3f}s, "
+        f"profiled {profiled:.3f}s (ratio {profiled / bare:.2f})"
+    )
+    # The None fast path must not cost more than the instrumented path
+    # (modulo noise); if it does, the guard itself grew a hidden cost.
+    assert bare < profiled * 1.25

@@ -117,6 +117,8 @@ def _cmd_predict(args: argparse.Namespace) -> int:
 
 
 def _cmd_run(args: argparse.Namespace) -> int:
+    import json
+
     from repro.harness.overhead import run_overhead_experiment
     from repro.harness.reporting import format_table
     from repro.net.stats import (
@@ -124,6 +126,16 @@ def _cmd_run(args: argparse.Namespace) -> int:
         CATEGORY_OVERLAY,
         CATEGORY_QUERY,
     )
+    from repro.obs import JSONLSink, Observer
+
+    observer = None
+    trace_out = getattr(args, "trace_out", None)
+    metrics_out = getattr(args, "metrics_out", None)
+    if trace_out or metrics_out:
+        observer = Observer(
+            trace_sink=JSONLSink(trace_out) if trace_out else None,
+            profile=True,
+        )
 
     print(
         f"running packet-level deployment: {args.population} endsystems, "
@@ -135,6 +147,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
         duration=args.hours * 3600.0,
         seed=args.seed,
         query_sql=args.sql,
+        observer=observer,
     )
     rows = [
         ("MSPastry", f"{result.tx_by_category[CATEGORY_OVERLAY]:.1f}"),
@@ -147,6 +160,29 @@ def _cmd_run(args: argparse.Namespace) -> int:
                        title="Overhead breakdown (cf. Fig 9a)"))
     print(f"predictor latency: {result.predictor_latency}")
     print(f"completeness samples: {result.completeness}")
+
+    if observer is not None:
+        observer.close()
+        if trace_out:
+            print(f"trace written to {trace_out}")
+        snapshot = result.metrics
+        if metrics_out and snapshot is not None:
+            with open(metrics_out, "w", encoding="utf-8") as handle:
+                json.dump(snapshot, handle, indent=2, sort_keys=True)
+            print(f"metrics written to {metrics_out}")
+        profile = snapshot.get("profile") if snapshot else None
+        if profile:
+            hot = sorted(
+                profile["handlers"].items(),
+                key=lambda item: item[1]["total_s"],
+                reverse=True,
+            )[:5]
+            prows = [
+                (label, f"{stats['count']}", f"{stats['total_s'] * 1e3:.1f}")
+                for label, stats in hot
+            ]
+            print(format_table(["handler", "events", "total ms"], prows,
+                               title="Hottest simulator handlers"))
     return 0
 
 
@@ -192,6 +228,14 @@ def build_parser() -> argparse.ArgumentParser:
         "--sql", default="SELECT SUM(Bytes) FROM Flow WHERE SrcPort = 80"
     )
     run.add_argument("--seed", type=int, default=0)
+    run.add_argument(
+        "--trace-out", metavar="FILE", default=None,
+        help="write a JSONL event trace of the run to FILE",
+    )
+    run.add_argument(
+        "--metrics-out", metavar="FILE", default=None,
+        help="write the final metrics snapshot (JSON) to FILE",
+    )
     run.set_defaults(func=_cmd_run)
 
     return parser

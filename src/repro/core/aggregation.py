@@ -351,6 +351,12 @@ class ResultAggregator:
         if merged is None:
             return
         state.up_version += 1
+        obs = self.node._obs
+        if obs is not None:
+            obs.aggregation_flush(
+                self.node.sim.now, descriptor.query_id, state.vertex_id,
+                self.node.node_id, False, state.up_version, merged.row_count,
+            )
         parent = parent_vertex(
             descriptor.query_id, state.vertex_id, self.node.config.overlay.b
         )
@@ -426,6 +432,12 @@ class ResultAggregator:
         if state.vertex_id == descriptor.query_id:
             merged = state.merged_result()
             if merged is not None:
+                obs = self.node._obs
+                if obs is not None:
+                    obs.aggregation_flush(
+                        self.node.sim.now, descriptor.query_id, state.vertex_id,
+                        self.node.node_id, True, state.up_version, merged.row_count,
+                    )
                 self.node.on_root_result(descriptor, merged)
             return
         if not state.forward_scheduled:

@@ -299,6 +299,12 @@ class Disseminator:
     def _transmit_child(
         self, task: BroadcastTask, child: ChildRange, target: Optional[int] = None
     ) -> None:
+        obs = self.node._obs
+        if obs is not None:
+            obs.dissemination_hop(
+                self.node.sim.now, task.descriptor.query_id, self.node.node_id,
+                child.lo, child.hi, child.retries,
+            )
         payload = {
             "descriptor": task.descriptor.to_payload(),
             "lo": child.lo,

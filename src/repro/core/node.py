@@ -20,9 +20,12 @@ a query.
 
 from __future__ import annotations
 
-from typing import Any, Optional
+from typing import TYPE_CHECKING, Any, Optional
 
 import numpy as np
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.obs.observer import Observer
 
 from repro.core.aggregation import (
     KIND_RESULT_ACK,
@@ -69,6 +72,7 @@ class SeaweedNode:
         database: LocalDatabase,
         config: SeaweedConfig,
         rng: np.random.Generator,
+        observer: Optional["Observer"] = None,
     ) -> None:
         self.pastry = pastry
         self.database = database
@@ -76,6 +80,9 @@ class SeaweedNode:
         self.sim = pastry.network.sim
         self.node_id = pastry.node_id
         self._rng = rng
+        #: Active observer or None — protocol engines reach it via
+        #: ``node._obs`` and guard with a bare ``is not None`` check.
+        self._obs = observer if (observer is not None and observer.enabled) else None
         self.availability = AvailabilityModel(
             num_down_buckets=config.down_duration_buckets,
             periodic_threshold=config.periodic_threshold,
@@ -108,6 +115,8 @@ class SeaweedNode:
     def go_online(self, bootstrap: Optional[PastryNode]) -> None:
         """The endsystem becomes available: join, learn, announce."""
         now = self.sim.now
+        if self._obs is not None:
+            self._obs.endsystem_up(now, self.node_id)
         if self._last_down_at is not None:
             self.availability.record_down_duration(now - self._last_down_at)
             self._last_down_at = None
@@ -121,6 +130,8 @@ class SeaweedNode:
     def go_offline(self) -> None:
         """The endsystem fails or shuts down (fail-stop)."""
         self._last_down_at = self.sim.now
+        if self._obs is not None:
+            self._obs.endsystem_down(self.sim.now, self.node_id)
         for timer_name in ("_summary_timer", "_refresh_timer"):
             timer = getattr(self, timer_name)
             if timer is not None:
@@ -196,6 +207,8 @@ class SeaweedNode:
         )
         replicas = self.pastry.replica_set(self.config.metadata_replicas)
         self._last_replica_set = replicas
+        if self._obs is not None:
+            self._obs.metadata_push(self.sim.now, self.node_id, len(replicas))
         payload = {"metadata": metadata, "owner_online": True}
         generation = self.database.generation
         for replica in replicas:
@@ -326,6 +339,10 @@ class SeaweedNode:
             lifetime=lifetime,
             continuous_period=continuous_period,
         )
+        if self._obs is not None:
+            self._obs.query_issued(
+                self.sim.now, descriptor.query_id, self.node_id, descriptor.sql
+            )
         self.query_statuses[descriptor.query_id] = QueryStatus(descriptor)
         self.disseminator.inject(descriptor)
         self._schedule_predictor_retry(descriptor, attempt=1)
@@ -374,6 +391,8 @@ class SeaweedNode:
         if query_id in self.cancelled_queries:
             return
         self.cancelled_queries.add(query_id)
+        if self._obs is not None:
+            self._obs.query_cancelled(self.sim.now, query_id, self.node_id)
         self._local_results.pop(query_id, None)
         self.disseminator.expire_query(query_id)
         if self.pastry.online:
@@ -493,6 +512,11 @@ class SeaweedNode:
             status.predictor = predictor
             if status.predictor_ready_at is None:
                 status.predictor_ready_at = self.sim.now
+            if self._obs is not None:
+                self._obs.predictor_update(
+                    self.sim.now, descriptor.query_id, self.node_id,
+                    "root", predictor.endsystems,
+                )
 
     def on_root_result(
         self, descriptor: QueryDescriptor, merged: QueryResult
@@ -535,6 +559,11 @@ class SeaweedNode:
             status.predictor = incoming
             if status.predictor_ready_at is None:
                 status.predictor_ready_at = self.sim.now
+            if self._obs is not None:
+                self._obs.predictor_update(
+                    self.sim.now, descriptor.query_id, self.node_id,
+                    "origin", incoming.endsystems,
+                )
 
     # ------------------------------------------------------------------
     # Overlay hooks and message dispatch

@@ -26,6 +26,7 @@ from repro.db.engine import LocalDatabase
 from repro.net.stats import BandwidthAccounting
 from repro.net.topology import Topology, corpnet_like
 from repro.net.transport import Transport
+from repro.obs.observer import Observer
 from repro.overlay.ids import random_id
 from repro.overlay.network import OverlayNetwork
 from repro.sim.randomness import RandomStreams
@@ -50,6 +51,7 @@ class SeaweedSystem:
         bandwidth_bucket: float = 3600.0,
         id_seed: Optional[int] = None,
         private_databases: bool = False,
+        observer: Optional[Observer] = None,
     ) -> None:
         """Build the deployment.
 
@@ -70,10 +72,17 @@ class SeaweedSystem:
             private_databases: Give each endsystem its own mutable copy
                 of its profile database (required for live update feeds
                 and continuous-query demos; costs memory).
+            observer: Observability hub (:mod:`repro.obs`).  When ``None``
+                (or disabled) every instrumentation point collapses to a
+                single attribute check — the zero-cost path.
         """
         self.config = config if config is not None else SeaweedConfig()
         self.streams = RandomStreams(master_seed)
         self.sim = Simulator(SimClock())
+        self.obs = observer if observer is not None else Observer.disabled()
+        self.obs.set_clock(lambda: self.sim.now)
+        if self.obs.profiler is not None:
+            self.sim.set_profiler(self.obs.profiler)
         self.accounting = BandwidthAccounting(bucket_seconds=bandwidth_bucket)
         if topology is None:
             topology = corpnet_like(self.streams.get("topology"))
@@ -84,12 +93,14 @@ class SeaweedSystem:
             accounting=self.accounting,
             loss_rate=loss_rate,
             loss_rng=self.streams.get("loss") if loss_rate > 0 else None,
+            observer=observer,
         )
         self.overlay = OverlayNetwork(
             self.sim,
             self.transport,
             config=self.config.overlay,
             rng=self.streams.get("overlay"),
+            observer=observer,
         )
 
         count = num_endsystems if num_endsystems is not None else len(trace)
@@ -124,6 +135,7 @@ class SeaweedSystem:
                 database,
                 self.config,
                 self.streams.fork(f"node-{index}").get("seaweed"),
+                observer=observer,
             )
             self.nodes.append(node)
             names.append(pastry.name)
@@ -284,6 +296,45 @@ class SeaweedSystem:
             if hi > lo:
                 total += count * (hi - lo)
         return total
+
+    def metrics_snapshot(self) -> dict:
+        """One self-describing dict of everything the deployment measured.
+
+        Always includes the simulator, transport, overlay, and bandwidth
+        counters (they are maintained unconditionally); the ``"metrics"``
+        and ``"profile"`` sections reflect the attached
+        :class:`~repro.obs.observer.Observer` and are empty/None when
+        observability is disabled.
+        """
+        snapshot = {
+            "sim": {
+                "now": self.sim.now,
+                "events_processed": self.sim.events_processed,
+                "pending_events": self.sim.pending_events,
+            },
+            "transport": {
+                "dropped_offline": self.transport.dropped_offline,
+                "dropped_loss": self.transport.dropped_loss,
+            },
+            "overlay": {
+                "routing_drops": self.overlay.routing_drops,
+                "reroutes": self.overlay.reroutes,
+                "online": self.overlay.online_count,
+            },
+            "bandwidth": {
+                "total_tx": self.accounting.total_tx,
+                "total_rx": self.accounting.total_rx,
+                "messages": self.accounting.messages,
+                "tx_by_category": self.accounting.totals_by_category("tx"),
+            },
+            "metrics": self.obs.metrics.snapshot(),
+            "profile": (
+                self.obs.profiler.snapshot()
+                if self.obs.profiler is not None
+                else None
+            ),
+        }
+        return snapshot
 
     def ground_truth_rows(self, sql: str, now_binding: Optional[float] = None) -> int:
         """Total relevant rows across ALL endsystems (oracle, for tests)."""

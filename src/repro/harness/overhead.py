@@ -28,6 +28,7 @@ import numpy as np
 
 from repro.core.config import SeaweedConfig
 from repro.core.system import SeaweedSystem
+from repro.obs.observer import Observer
 from repro.net.stats import (
     CATEGORY_MAINTENANCE,
     CATEGORY_OVERLAY,
@@ -61,6 +62,8 @@ class OverheadResult:
     #: Result-completeness observations: (delay s, rows) samples.
     completeness: list[tuple[float, int]] = field(default_factory=list)
     ground_truth_rows: int = 0
+    #: :meth:`SeaweedSystem.metrics_snapshot` taken at the end of the run.
+    metrics: Optional[dict] = None
 
     @property
     def mean_tx(self) -> float:
@@ -104,8 +107,13 @@ def run_overhead_experiment(
     num_profiles: int = 40,
     config: Optional[SeaweedConfig] = None,
     sample_checkpoints: tuple[float, ...] = (60.0, 1800.0, 3600.0, 2 * 3600.0, 4 * 3600.0),
+    observer: Optional[Observer] = None,
 ) -> OverheadResult:
-    """Run one packet-level deployment and collect Fig. 9/10 measurements."""
+    """Run one packet-level deployment and collect Fig. 9/10 measurements.
+
+    Pass ``observer`` to trace/profile the run (see :mod:`repro.obs`);
+    its snapshot lands in :attr:`OverheadResult.metrics`.
+    """
     trace = build_trace(trace_kind, num_endsystems, duration, seed)
     dataset = AnemoneDataset(
         num_profiles=num_profiles,
@@ -119,6 +127,7 @@ def run_overhead_experiment(
         config=config,
         master_seed=seed,
         id_seed=id_seed,
+        observer=observer,
     )
     system.pretrain_availability()
     system.run_until(inject_after)
@@ -168,6 +177,7 @@ def run_overhead_experiment(
         predictor_latency=latency,
         completeness=completeness,
         ground_truth_rows=system.ground_truth_rows(query_sql),
+        metrics=system.metrics_snapshot() if observer is not None else None,
     )
 
 

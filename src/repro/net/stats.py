@@ -21,6 +21,9 @@ CATEGORY_QUERY = "query"  # Seaweed: dissemination, predictors, results
 
 ALL_CATEGORIES = (CATEGORY_OVERLAY, CATEGORY_MAINTENANCE, CATEGORY_QUERY)
 
+#: Frozen set for O(1) validation on the per-message recording path.
+_VALID_CATEGORIES = frozenset(ALL_CATEGORIES)
+
 
 class BandwidthAccounting:
     """Accumulates sent/received bytes in fixed-width time buckets."""
@@ -42,7 +45,15 @@ class BandwidthAccounting:
     def record(
         self, time: float, src: str, dst: str, size: int, category: str
     ) -> None:
-        """Record one message of ``size`` bytes from ``src`` to ``dst``."""
+        """Record one message of ``size`` bytes from ``src`` to ``dst``.
+
+        Raises ValueError for categories outside :data:`ALL_CATEGORIES` —
+        a typo here would silently vanish from every Fig. 9/10 breakdown.
+        """
+        if category not in _VALID_CATEGORIES:
+            raise ValueError(
+                f"unknown traffic category {category!r}; expected one of {ALL_CATEGORIES}"
+            )
         bucket = self._bucket(time)
         self._tx[(src, bucket, category)] += size
         self._rx[(dst, bucket, category)] += size
@@ -57,8 +68,12 @@ class BandwidthAccounting:
 
         Used by batched services (e.g. the heartbeat sweep) that account a
         period's worth of symmetric traffic in one call instead of one call
-        per message.
+        per message.  Categories are validated like :meth:`record`.
         """
+        if category not in _VALID_CATEGORIES:
+            raise ValueError(
+                f"unknown traffic category {category!r}; expected one of {ALL_CATEGORIES}"
+            )
         bucket = self._bucket(time)
         if tx_bytes:
             self._tx[(endsystem, bucket, category)] += tx_bytes

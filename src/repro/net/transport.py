@@ -16,13 +16,16 @@ this.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Callable, Optional
+from typing import TYPE_CHECKING, Any, Callable, Optional
 
 import numpy as np
 
 from repro.net.stats import BandwidthAccounting
 from repro.net.topology import Topology
 from repro.sim.simulator import Simulator
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.obs.observer import Observer
 
 #: Fixed per-message header overhead in bytes (UDP/IP + overlay header),
 #: matching the order of magnitude MSPastry reports.
@@ -68,6 +71,7 @@ class Transport:
         accounting: Optional[BandwidthAccounting] = None,
         loss_rate: float = 0.0,
         loss_rng: Optional[np.random.Generator] = None,
+        observer: Optional["Observer"] = None,
     ) -> None:
         if not 0.0 <= loss_rate < 1.0:
             raise ValueError(f"loss_rate must be in [0, 1), got {loss_rate}")
@@ -82,6 +86,17 @@ class Transport:
         self._online: dict[str, bool] = {}
         self.dropped_offline = 0
         self.dropped_loss = 0
+        self._obs = observer if (observer is not None and observer.enabled) else None
+        if self._obs is not None:
+            metrics = self._obs.metrics
+            self._c_messages = metrics.counter("transport.messages_total")
+            self._c_bytes = metrics.counter("transport.bytes_total")
+            # Per-category byte counters, bound lazily per category string.
+            self._c_category: dict[str, Any] = {}
+        else:
+            self._c_messages = None
+            self._c_bytes = None
+            self._c_category = {}
 
     def register(self, endsystem: str, handler: Handler) -> None:
         """Register the message handler for ``endsystem`` (initially offline)."""
@@ -108,8 +123,21 @@ class Transport:
             self.accounting.record(
                 self.sim.now, src, dst, message.wire_size, message.category
             )
+        if self._obs is not None:
+            self._c_messages.inc()
+            self._c_bytes.inc(message.wire_size)
+            by_category = self._c_category.get(message.category)
+            if by_category is None:
+                by_category = self._c_category[message.category] = (
+                    self._obs.metrics.counter(
+                        "transport.bytes_total", category=message.category
+                    )
+                )
+            by_category.inc(message.wire_size)
         if self.loss_rate > 0.0 and self._loss_rng.random() < self.loss_rate:
             self.dropped_loss += 1
+            if self._obs is not None:
+                self._obs.message_drop(self.sim.now, dst, message.kind, "loss")
             return
         latency = self.topology.latency(src, dst)
         self.sim.schedule(latency, self._deliver, dst, message)
@@ -117,9 +145,13 @@ class Transport:
     def _deliver(self, dst: str, message: Message) -> None:
         if not self._online.get(dst, False):
             self.dropped_offline += 1
+            if self._obs is not None:
+                self._obs.message_drop(self.sim.now, dst, message.kind, "offline")
             return
         handler = self._handlers.get(dst)
         if handler is None:
             self.dropped_offline += 1
+            if self._obs is not None:
+                self._obs.message_drop(self.sim.now, dst, message.kind, "unregistered")
             return
         handler(dst, message)

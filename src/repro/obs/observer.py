@@ -1,0 +1,179 @@
+"""The Observer: one object carrying metrics, tracing, and profiling.
+
+A single :class:`Observer` is threaded through the whole stack by
+:class:`~repro.core.system.SeaweedSystem`: the transport, the overlay,
+and every Seaweed node hold a reference and report protocol events
+through the typed emitters below.  Each emitter bumps a pre-bound
+metrics counter and, when a trace sink is attached, writes one
+structured record keyed by query id / endsystem id.
+
+Cost discipline:
+
+* components store ``None`` instead of a disabled observer (see
+  :func:`active`), so the fully-disabled hot path is one ``is None``
+  check at the call site — no call, no allocation;
+* emitters take positional arguments and check ``tracer.enabled``
+  before building the record dict, so an enabled observer with a null
+  trace sink pays only counter increments;
+* node and query ids are rendered as 32-char hex (matching
+  ``f"{query_id:032x}"`` elsewhere in the repo) only when a record is
+  actually emitted.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.profiling import SimProfiler
+from repro.obs.tracing import NULL_SINK, Tracer, TraceSink
+
+
+def _hx(value: int) -> str:
+    return format(value, "032x")
+
+
+class Observer:
+    """Aggregates a metrics registry, a tracer, and an optional profiler."""
+
+    def __init__(
+        self,
+        metrics: Optional[MetricsRegistry] = None,
+        trace_sink: Optional[TraceSink] = None,
+        profile: bool = False,
+        enabled: bool = True,
+    ) -> None:
+        self.enabled = enabled
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self.tracer = Tracer(trace_sink if trace_sink is not None else NULL_SINK)
+        self.profiler: Optional[SimProfiler] = SimProfiler() if profile else None
+        m = self.metrics
+        self._c_queries = m.counter("seaweed.queries_issued_total")
+        self._c_cancels = m.counter("seaweed.queries_cancelled_total")
+        self._c_hops = m.counter("seaweed.dissemination_hops_total")
+        self._c_predictor = m.counter("seaweed.predictor_updates_total")
+        self._c_flushes = m.counter("seaweed.aggregation_flushes_total")
+        self._c_meta = m.counter("seaweed.metadata_pushes_total")
+        self._c_repairs = m.counter("overlay.leafset_repairs_total")
+        self._c_up = m.counter("endsystem.transitions_total", direction="up")
+        self._c_down = m.counter("endsystem.transitions_total", direction="down")
+        self._c_drops = {
+            reason: m.counter("transport.dropped_total", reason=reason)
+            for reason in ("loss", "offline", "unregistered")
+        }
+
+    @classmethod
+    def disabled(cls) -> "Observer":
+        """An inert observer: components treat it exactly like ``None``."""
+        return cls(enabled=False)
+
+    @property
+    def tracing(self) -> bool:
+        """Whether trace records are being recorded."""
+        return self.tracer.enabled
+
+    def set_clock(self, clock: Callable[[], float]) -> None:
+        """Bind the simulated-time source used by spans."""
+        self.tracer.set_clock(clock)
+
+    def close(self) -> None:
+        """Flush and close the trace sink."""
+        self.tracer.close()
+
+    # ------------------------------------------------------------------
+    # Typed event emitters (positional-only call sites, hot-path safe)
+    # ------------------------------------------------------------------
+
+    def query_issued(self, t: float, query_id: int, origin: int, sql: str) -> None:
+        """A query was injected at its originating endsystem."""
+        self._c_queries.inc()
+        if self.tracer.enabled:
+            self.tracer.event(
+                t, "query_issued", query_id=_hx(query_id), node=_hx(origin), sql=sql
+            )
+
+    def query_cancelled(self, t: float, query_id: int, node: int) -> None:
+        """A cancellation tombstone was installed at ``node``."""
+        self._c_cancels.inc()
+        if self.tracer.enabled:
+            self.tracer.event(
+                t, "query_cancelled", query_id=_hx(query_id), node=_hx(node)
+            )
+
+    def dissemination_hop(
+        self, t: float, query_id: int, node: int, lo: int, hi: int, retries: int
+    ) -> None:
+        """A broadcast subrange was dispatched toward a child."""
+        self._c_hops.inc()
+        if self.tracer.enabled:
+            self.tracer.event(
+                t, "dissemination_hop", query_id=_hx(query_id), node=_hx(node),
+                lo=_hx(lo), hi=_hx(hi), retries=retries,
+            )
+
+    def predictor_update(
+        self, t: float, query_id: int, node: int, role: str, endsystems: int
+    ) -> None:
+        """A completeness predictor landed (``role``: root or origin)."""
+        self._c_predictor.inc()
+        if self.tracer.enabled:
+            self.tracer.event(
+                t, "predictor_update", query_id=_hx(query_id), node=_hx(node),
+                role=role, endsystems=endsystems,
+            )
+
+    def aggregation_flush(
+        self, t: float, query_id: int, vertex_id: int, node: int,
+        root: bool, version: int, rows: int,
+    ) -> None:
+        """An aggregation vertex folded its children and pushed/published."""
+        self._c_flushes.inc()
+        if self.tracer.enabled:
+            self.tracer.event(
+                t, "aggregation_flush", query_id=_hx(query_id),
+                vertex=_hx(vertex_id), node=_hx(node), root=root,
+                version=version, rows=rows,
+            )
+
+    def metadata_push(self, t: float, node: int, replicas: int) -> None:
+        """An endsystem pushed its metadata to its replica set."""
+        self._c_meta.inc()
+        if self.tracer.enabled:
+            self.tracer.event(t, "metadata_push", node=_hx(node), replicas=replicas)
+
+    def leafset_repair(self, t: float, node: int, dead: int) -> None:
+        """A leafset member was declared dead and repair started."""
+        self._c_repairs.inc()
+        if self.tracer.enabled:
+            self.tracer.event(t, "leafset_repair", node=_hx(node), dead=_hx(dead))
+
+    def message_drop(self, t: float, dst: str, kind: str, reason: str) -> None:
+        """A message was dropped in the transport (loss / dead host)."""
+        counter = self._c_drops.get(reason)
+        if counter is not None:
+            counter.inc()
+        if self.tracer.enabled:
+            self.tracer.event(t, "message_drop", dst=dst, kind=kind, reason=reason)
+
+    def endsystem_up(self, t: float, node: int) -> None:
+        """An endsystem became available and is (re)joining."""
+        self._c_up.inc()
+        if self.tracer.enabled:
+            self.tracer.event(t, "endsystem_up", node=_hx(node))
+
+    def endsystem_down(self, t: float, node: int) -> None:
+        """An endsystem went down (fail-stop)."""
+        self._c_down.inc()
+        if self.tracer.enabled:
+            self.tracer.event(t, "endsystem_down", node=_hx(node))
+
+
+def active(observer: Optional[Observer]) -> Optional[Observer]:
+    """Normalize an observer argument for hot-path storage.
+
+    Returns ``observer`` if it exists and is enabled, else ``None``, so
+    instrumented components guard with a bare ``is not None`` check.
+    """
+    if observer is not None and observer.enabled:
+        return observer
+    return None

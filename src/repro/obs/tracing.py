@@ -1,0 +1,218 @@
+"""Structured trace log with span support.
+
+Every record is one flat dict: ``{"t": <simulated seconds>, "event":
+<name>, ...fields}`` plus, inside a span, ``"span"``/``"parent"`` ids.
+Records flow into a :class:`TraceSink`:
+
+* :class:`NullSink` — tracing disabled.  The single shared
+  :data:`NULL_SINK` instance has ``enabled = False``; instrumented call
+  sites check that flag *before* building the record, so a disabled
+  tracer costs one attribute read and allocates nothing.
+* :class:`MemorySink` — in-process list, for tests and notebooks.
+* :class:`JSONLSink` — one JSON object per line to a file, the
+  interchange format of ``--trace-out``.
+
+The :class:`Tracer` assigns span ids and tracks the current span stack
+so nested spans record their parentage.  Span begin/end records carry
+both simulated time (from the bound clock) and wall-clock duration.
+"""
+
+from __future__ import annotations
+
+import json
+from time import perf_counter
+from typing import IO, Callable, Optional, Union
+
+
+def _json_default(value: object) -> str:
+    return str(value)
+
+
+class TraceSink:
+    """Interface: a destination for trace records."""
+
+    enabled = True
+
+    def emit(self, record: dict) -> None:
+        """Consume one trace record."""
+        raise NotImplementedError
+
+    def close(self) -> None:
+        """Release any resources.  Idempotent."""
+
+
+class NullSink(TraceSink):
+    """Discards everything; ``enabled`` is False so callers skip work."""
+
+    enabled = False
+
+    def emit(self, record: dict) -> None:
+        pass
+
+
+#: The shared disabled sink.  ``Tracer(NULL_SINK)`` is zero-cost.
+NULL_SINK = NullSink()
+
+
+class MemorySink(TraceSink):
+    """Collects records in a list (optionally bounded)."""
+
+    def __init__(self, limit: Optional[int] = None) -> None:
+        self.events: list[dict] = []
+        self.dropped = 0
+        self._limit = limit
+
+    def emit(self, record: dict) -> None:
+        if self._limit is not None and len(self.events) >= self._limit:
+            self.dropped += 1
+            return
+        self.events.append(record)
+
+    def of_kind(self, event: str) -> list[dict]:
+        """All collected records with the given event name."""
+        return [record for record in self.events if record.get("event") == event]
+
+
+class JSONLSink(TraceSink):
+    """Writes one compact JSON object per record to a file."""
+
+    def __init__(self, destination: Union[str, IO[str]]) -> None:
+        if isinstance(destination, str):
+            self._handle: IO[str] = open(destination, "w", encoding="utf-8")
+            self._owns_handle = True
+        else:
+            self._handle = destination
+            self._owns_handle = False
+        self.records_written = 0
+
+    def emit(self, record: dict) -> None:
+        self._handle.write(
+            json.dumps(record, separators=(",", ":"), default=_json_default) + "\n"
+        )
+        self.records_written += 1
+
+    def flush(self) -> None:
+        """Flush the underlying file."""
+        self._handle.flush()
+
+    def close(self) -> None:
+        if self._owns_handle and not self._handle.closed:
+            self._handle.close()
+
+
+def read_jsonl(path: str) -> list[dict]:
+    """Load a JSONL trace file back into a list of records."""
+    records = []
+    with open(path, "r", encoding="utf-8") as handle:
+        for line in handle:
+            line = line.strip()
+            if line:
+                records.append(json.loads(line))
+    return records
+
+
+class Span:
+    """A traced interval; use via ``with tracer.span(...):``."""
+
+    __slots__ = ("_tracer", "name", "fields", "span_id", "parent_id", "_wall_start")
+
+    def __init__(self, tracer: "Tracer", name: str, fields: dict) -> None:
+        self._tracer = tracer
+        self.name = name
+        self.fields = fields
+        self.span_id = -1
+        self.parent_id: Optional[int] = None
+        self._wall_start = 0.0
+
+    def __enter__(self) -> "Span":
+        tracer = self._tracer
+        self.span_id = tracer._next_span_id
+        tracer._next_span_id += 1
+        if tracer._stack:
+            self.parent_id = tracer._stack[-1].span_id
+        tracer._stack.append(self)
+        self._wall_start = perf_counter()
+        record = {"t": tracer.now(), "event": "span_begin", "name": self.name,
+                  "span": self.span_id}
+        if self.parent_id is not None:
+            record["parent"] = self.parent_id
+        record.update(self.fields)
+        tracer.sink.emit(record)
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        tracer = self._tracer
+        if tracer._stack and tracer._stack[-1] is self:
+            tracer._stack.pop()
+        record = {"t": tracer.now(), "event": "span_end", "name": self.name,
+                  "span": self.span_id,
+                  "wall_s": perf_counter() - self._wall_start}
+        if self.parent_id is not None:
+            record["parent"] = self.parent_id
+        if exc_type is not None:
+            record["error"] = exc_type.__name__
+        tracer.sink.emit(record)
+
+
+class _NullSpan:
+    """Shared no-op span returned when tracing is disabled."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        pass
+
+
+_NULL_SPAN = _NullSpan()
+
+
+class Tracer:
+    """Emits structured events and spans into a sink."""
+
+    def __init__(
+        self,
+        sink: Optional[TraceSink] = None,
+        clock: Optional[Callable[[], float]] = None,
+    ) -> None:
+        self.sink = sink if sink is not None else NULL_SINK
+        self.now: Callable[[], float] = clock if clock is not None else (lambda: 0.0)
+        self._next_span_id = 0
+        self._stack: list[Span] = []
+
+    @property
+    def enabled(self) -> bool:
+        """Whether the sink records anything."""
+        return self.sink.enabled
+
+    def set_clock(self, clock: Callable[[], float]) -> None:
+        """Bind the simulated-time source (done by ``SeaweedSystem``)."""
+        self.now = clock
+
+    def event(self, t: float, name: str, **fields: object) -> None:
+        """Emit one event at simulated time ``t``.
+
+        Callers on hot paths should check :attr:`enabled` first so the
+        keyword dict is never built when tracing is off; this method
+        also guards, so cold paths may call unconditionally.
+        """
+        sink = self.sink
+        if not sink.enabled:
+            return
+        record = {"t": t, "event": name}
+        if self._stack:
+            record["span"] = self._stack[-1].span_id
+        record.update(fields)
+        sink.emit(record)
+
+    def span(self, name: str, **fields: object):
+        """A context manager tracing an interval (no-op when disabled)."""
+        if not self.sink.enabled:
+            return _NULL_SPAN
+        return Span(self, name, fields)
+
+    def close(self) -> None:
+        """Close the underlying sink."""
+        self.sink.close()

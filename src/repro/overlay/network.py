@@ -27,7 +27,7 @@ from __future__ import annotations
 
 import bisect
 from dataclasses import dataclass
-from typing import Optional
+from typing import TYPE_CHECKING, Optional
 
 import numpy as np
 
@@ -36,6 +36,9 @@ from repro.net.transport import Transport
 from repro.overlay.ids import ring_distance
 from repro.overlay.node import ID_BYTES, PastryNode
 from repro.sim.simulator import Simulator
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.obs.observer import Observer
 
 
 @dataclass
@@ -68,6 +71,7 @@ class OverlayNetwork:
         transport: Transport,
         config: Optional[OverlayConfig] = None,
         rng: Optional[np.random.Generator] = None,
+        observer: Optional["Observer"] = None,
     ) -> None:
         self.sim = sim
         self.transport = transport
@@ -80,6 +84,18 @@ class OverlayNetwork:
         self.routing_drops = 0
         self.reroutes = 0
         self._heartbeat_timer = None
+        # Observer plumbing shared by all PastryNodes.  Counters are
+        # pre-bound here; nodes guard on ``observer is not None``.
+        self.observer = observer if (observer is not None and observer.enabled) else None
+        if self.observer is not None:
+            metrics = self.observer.metrics
+            self.c_reroutes = metrics.counter("overlay.reroutes_total")
+            self.c_routing_drops = metrics.counter("overlay.routing_drops_total")
+            self.c_joins = metrics.counter("overlay.joins_total")
+        else:
+            self.c_reroutes = None
+            self.c_routing_drops = None
+            self.c_joins = None
 
     # ------------------------------------------------------------------
     # Node management

@@ -180,6 +180,8 @@ class PastryNode:
         self.routing_table = RoutingTable(self.node_id, b=self.network.config.b)
         self.network.transport.set_online(self.name, True)
         self._joined = False
+        if self.network.c_joins is not None:
+            self.network.c_joins.inc()
         if bootstrap is not None and bootstrap.node_id != self.node_id:
             self._send_join(bootstrap)
             self.network.sim.schedule(JOIN_RETRY_TIMEOUT, self._check_join, 1)
@@ -280,6 +282,8 @@ class PastryNode:
         hops = envelope["hops"]
         if hops >= MAX_HOPS:
             self.network.routing_drops += 1
+            if self.network.c_routing_drops is not None:
+                self.network.c_routing_drops.inc()
             return
         next_hop = self._next_hop(key)
         if next_hop is None or next_hop == self.node_id:
@@ -346,6 +350,8 @@ class PastryNode:
         if self.leafset.remove(next_hop):
             self._repair_leafset()
         self.network.reroutes += 1
+        if self.network.c_reroutes is not None:
+            self.network.c_reroutes.inc()
         envelope = dict(envelope)
         envelope["hops"] = max(0, envelope["hops"] - 1)
         self._route_envelope(envelope, category)
@@ -505,6 +511,9 @@ class PastryNode:
         if self._neighbour_failed_upcall is not None:
             self._neighbour_failed_upcall(dead_id)
         if removed:
+            observer = self.network.observer
+            if observer is not None:
+                observer.leafset_repair(self.network.sim.now, self.node_id, dead_id)
             self._repair_leafset()
             self._notify_neighbour_change()
 

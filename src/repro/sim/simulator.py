@@ -17,11 +17,16 @@ well-defined calendar.
 
 from __future__ import annotations
 
+import functools
 import heapq
 import math
-from typing import Any, Callable, Iterable, Optional
+from time import perf_counter
+from typing import TYPE_CHECKING, Any, Callable, Iterable, Optional
 
 from repro.sim.events import Event, EventHandle
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.obs.profiling import SimProfiler
 
 SECONDS_PER_HOUR = 3600.0
 SECONDS_PER_DAY = 86400.0
@@ -84,13 +89,33 @@ class Simulator:
         sim.run_until(10.0)
     """
 
-    def __init__(self, clock: Optional[SimClock] = None) -> None:
+    def __init__(
+        self,
+        clock: Optional[SimClock] = None,
+        profiler: Optional["SimProfiler"] = None,
+    ) -> None:
         self._queue: list[Event] = []
         self._now = 0.0
         self._seq = 0
         self._events_processed = 0
         self._running = False
+        self._profiler = profiler
         self.clock = clock if clock is not None else SimClock()
+
+    @property
+    def profiler(self) -> Optional["SimProfiler"]:
+        """The attached profiler, if any."""
+        return self._profiler
+
+    def set_profiler(self, profiler: Optional["SimProfiler"]) -> None:
+        """Attach (or detach, with None) a profiler to the event loop.
+
+        With no profiler the loop pays one ``is None`` check per event;
+        with one, each callback is timed with ``perf_counter`` and
+        recorded under a label derived from the handler (see
+        :func:`handler_label`).
+        """
+        self._profiler = profiler
 
     @property
     def now(self) -> float:
@@ -126,7 +151,9 @@ class Simulator:
         if math.isnan(time) or math.isinf(time):
             raise SimulationError(f"invalid event time {time}")
         if args or kwargs:
-            bound = lambda: callback(*args, **kwargs)  # noqa: E731
+            # partial (not a lambda) so the profiler can recover the
+            # underlying handler via ``.func`` for labeling.
+            bound = functools.partial(callback, *args, **kwargs)
         else:
             bound = callback
         event = Event(time=time, seq=self._seq, callback=bound)
@@ -158,7 +185,17 @@ class Simulator:
                 continue
             self._now = event.time
             self._events_processed += 1
-            event.callback()
+            profiler = self._profiler
+            if profiler is None:
+                event.callback()
+            else:
+                start = perf_counter()
+                event.callback()
+                profiler.record(
+                    handler_label(event.callback),
+                    perf_counter() - start,
+                    len(self._queue),
+                )
             return True
         return False
 
@@ -230,6 +267,20 @@ class PeriodicTimer:
         """Stop the timer.  Idempotent; a pending tick is discarded."""
         self._cancelled = True
         self._handle.cancel()
+
+
+def handler_label(callback: Callable[[], Any]) -> str:
+    """A stable profiling label for a scheduled callback.
+
+    Unwraps the argument-binding partial, and attributes periodic-timer
+    ticks to the user callback rather than ``PeriodicTimer._fire``.
+    """
+    inner = getattr(callback, "func", callback)
+    owner = getattr(inner, "__self__", None)
+    if isinstance(owner, PeriodicTimer):
+        inner = owner._callback
+        inner = getattr(inner, "func", inner)
+    return getattr(inner, "__qualname__", None) or repr(inner)
 
 
 def merge_timelines(*timelines: Iterable[tuple[float, Any]]) -> list[tuple[float, Any]]:

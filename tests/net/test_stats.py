@@ -40,6 +40,25 @@ class TestRecording:
         with pytest.raises(ValueError):
             BandwidthAccounting(bucket_seconds=0.0)
 
+    def test_unknown_category_rejected(self, accounting):
+        with pytest.raises(ValueError, match="unknown traffic category"):
+            accounting.record(0.0, "a", "b", 10, "gossip")
+        with pytest.raises(ValueError, match="unknown traffic category"):
+            accounting.record_local(0.0, "a", 5, 5, "Query")  # case-sensitive
+        # Nothing was recorded by the rejected calls.
+        assert accounting.total_tx == 0
+        assert accounting.total_rx == 0
+
+    def test_all_known_categories_accepted(self, accounting):
+        from repro.net.stats import ALL_CATEGORIES
+
+        for category in ALL_CATEGORIES:
+            accounting.record(0.0, "a", "b", 1, category)
+            accounting.record_local(0.0, "a", 1, 1, category)
+        assert accounting.totals_by_category("tx") == {
+            category: 2.0 for category in ALL_CATEGORIES
+        }
+
 
 class TestSamples:
     def test_endsystem_hour_samples_include_zeros(self, accounting):

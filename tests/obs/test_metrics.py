@@ -1,0 +1,164 @@
+"""Tests for the labeled-series metrics registry."""
+
+from __future__ import annotations
+
+import io
+import json
+
+import pytest
+
+from repro.obs.metrics import (
+    DEFAULT_BOUNDS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    series_name,
+)
+
+
+class TestCounter:
+    def test_starts_at_zero_and_accumulates(self):
+        counter = Counter()
+        assert counter.value == 0.0
+        counter.inc()
+        counter.inc(2.5)
+        assert counter.value == 3.5
+
+    def test_negative_increment_rejected(self):
+        counter = Counter()
+        with pytest.raises(ValueError, match=">= 0"):
+            counter.inc(-1.0)
+        assert counter.value == 0.0
+
+
+class TestGauge:
+    def test_set_inc_dec(self):
+        gauge = Gauge()
+        gauge.set(10.0)
+        gauge.inc(5.0)
+        gauge.dec(2.0)
+        assert gauge.value == 13.0
+
+
+class TestHistogram:
+    def test_bucketing(self):
+        hist = Histogram(bounds=(1.0, 10.0))
+        for value in (0.5, 0.9, 5.0, 100.0):
+            hist.observe(value)
+        assert hist.count == 4
+        assert hist.sum == pytest.approx(106.4)
+        assert hist.max == 100.0
+        assert hist.counts == [2, 1, 1]  # <=1, <=10, +Inf
+
+    def test_bounds_are_sorted(self):
+        hist = Histogram(bounds=(10.0, 1.0))
+        assert hist.bounds == (1.0, 10.0)
+
+    def test_empty_bounds_rejected(self):
+        with pytest.raises(ValueError):
+            Histogram(bounds=())
+
+    def test_quantile(self):
+        hist = Histogram(bounds=(1.0, 2.0, 4.0))
+        for value in (0.5, 1.5, 1.5, 3.0):
+            hist.observe(value)
+        assert hist.quantile(0.0) == 0.0 or hist.quantile(0.0) <= 1.0
+        assert hist.quantile(0.25) == 1.0
+        assert hist.quantile(0.75) == 2.0
+        assert hist.quantile(1.0) == 4.0
+        assert Histogram().quantile(0.5) == 0.0  # empty
+
+    def test_quantile_range_checked(self):
+        with pytest.raises(ValueError):
+            Histogram().quantile(1.5)
+
+    def test_overflow_quantile_returns_max(self):
+        hist = Histogram(bounds=(1.0,))
+        hist.observe(50.0)
+        assert hist.quantile(1.0) == 50.0
+
+    def test_to_dict(self):
+        hist = Histogram(bounds=(0.5,))
+        hist.observe(0.25)
+        hist.observe(2.0)
+        data = hist.to_dict()
+        assert data["count"] == 2
+        assert data["buckets"] == {"le_0.5": 1, "le_inf": 1}
+
+
+class TestSeriesNaming:
+    def test_no_labels(self):
+        assert series_name("a.b_total", ()) == "a.b_total"
+
+    def test_labels_render_sorted(self):
+        registry = MetricsRegistry()
+        registry.counter("x", b=1, a="two")
+        [(name, labels, _)] = list(registry.series())
+        assert series_name(name, labels) == "x{a=two,b=1}"
+
+
+class TestRegistry:
+    def test_get_or_create_identity(self):
+        registry = MetricsRegistry()
+        first = registry.counter("hits", route="/a")
+        second = registry.counter("hits", route="/a")
+        other = registry.counter("hits", route="/b")
+        assert first is second
+        assert first is not other
+        assert len(registry) == 2
+
+    def test_label_order_is_irrelevant(self):
+        registry = MetricsRegistry()
+        assert registry.counter("m", a=1, b=2) is registry.counter("m", b=2, a=1)
+
+    def test_kind_conflict_raises(self):
+        registry = MetricsRegistry()
+        registry.counter("dual")
+        with pytest.raises(TypeError, match="not a gauge"):
+            registry.gauge("dual")
+        with pytest.raises(TypeError, match="not a histogram"):
+            registry.histogram("dual")
+        registry.gauge("g")
+        with pytest.raises(TypeError, match="not a counter"):
+            registry.counter("g")
+
+    def test_histogram_custom_bounds(self):
+        registry = MetricsRegistry()
+        hist = registry.histogram("lat", bounds=(1.0, 2.0))
+        assert hist.bounds == (1.0, 2.0)
+        assert registry.histogram("other").bounds == tuple(sorted(DEFAULT_BOUNDS))
+
+    def test_snapshot_grouping(self):
+        registry = MetricsRegistry()
+        registry.counter("c", k="v").inc(3)
+        registry.gauge("g").set(7.0)
+        registry.histogram("h", bounds=(1.0,)).observe(0.5)
+        snap = registry.snapshot()
+        assert snap["counters"] == {"c{k=v}": 3.0}
+        assert snap["gauges"] == {"g": 7.0}
+        assert snap["histograms"]["h"]["count"] == 1
+
+    def test_write_jsonl_roundtrip(self, tmp_path):
+        registry = MetricsRegistry()
+        registry.counter("c").inc(2)
+        registry.histogram("h", bounds=(1.0,)).observe(0.5)
+        path = str(tmp_path / "metrics.jsonl")
+        written = registry.write_jsonl(path)
+        assert written == 2
+        records = [json.loads(line) for line in open(path, encoding="utf-8")]
+        by_name = {record["name"]: record for record in records}
+        assert by_name["c"]["type"] == "counter"
+        assert by_name["c"]["value"] == 2.0
+        assert by_name["h"]["type"] == "histogram"
+        assert by_name["h"]["buckets"]["le_1"] == 1
+
+    def test_write_jsonl_to_handle(self):
+        registry = MetricsRegistry()
+        registry.gauge("g", zone="x").set(1.5)
+        buffer = io.StringIO()
+        assert registry.write_jsonl(buffer) == 1
+        record = json.loads(buffer.getvalue())
+        assert record == {
+            "type": "gauge", "name": "g", "labels": {"zone": "x"}, "value": 1.5
+        }

@@ -1,5 +1,7 @@
 """Tests for the command-line interface."""
 
+import json
+
 import pytest
 
 from repro.cli import build_parser, main
@@ -18,6 +20,11 @@ class TestParser:
     def test_trace_kind_validated(self):
         with pytest.raises(SystemExit):
             build_parser().parse_args(["trace", "--kind", "bittorrent"])
+
+    def test_run_observability_flags_default_off(self):
+        args = build_parser().parse_args(["run"])
+        assert args.trace_out is None
+        assert args.metrics_out is None
 
 
 class TestCommands:
@@ -51,3 +58,39 @@ class TestCommands:
         out = capsys.readouterr().out
         assert "predicted" in out
         assert "total-count error" in out
+
+    def test_run_with_trace_and_metrics_out(self, tmp_path, capsys):
+        trace_path = tmp_path / "trace.jsonl"
+        metrics_path = tmp_path / "metrics.json"
+        assert (
+            main(
+                [
+                    "run",
+                    "--population", "40",
+                    "--hours", "0.75",
+                    "--trace-out", str(trace_path),
+                    "--metrics-out", str(metrics_path),
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "Overhead breakdown" in out
+        assert "Hottest simulator handlers" in out
+
+        from repro.obs import read_jsonl
+
+        records = read_jsonl(str(trace_path))
+        assert records
+        kinds = {record["event"] for record in records}
+        assert "query_issued" in kinds
+        assert "dissemination_hop" in kinds
+
+        snapshot = json.loads(metrics_path.read_text())
+        assert snapshot["sim"]["events_processed"] > 0
+        assert snapshot["profile"]["handlers"]
+        assert any(
+            value > 0
+            for name, value in snapshot["metrics"]["counters"].items()
+            if name.startswith("transport.")
+        )

@@ -6,6 +6,7 @@ Subcommands::
     seaweed-repro trace   [--kind --population]   trace statistics (Fig 1)
     seaweed-repro predict [--sql --population]    completeness prediction
     seaweed-repro run     [--population --hours]  packet-level deployment
+    seaweed-repro chaos   [--scenario --seed]     fault-injection campaign
 
 Every subcommand prints plain-text tables via the reporting helpers and
 is driven by explicit seeds, so runs are reproducible.
@@ -186,6 +187,62 @@ def _cmd_run(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_chaos(args: argparse.Namespace) -> int:
+    from repro.faults import builtin_scenarios, report_to_json, run_campaign
+    from repro.harness.reporting import format_table
+
+    available = builtin_scenarios()
+    if args.scenario == "all":
+        selected = list(available.values())
+    elif args.scenario in available:
+        selected = [available[args.scenario]]
+    else:
+        names = ", ".join(sorted(available))
+        print(f"unknown scenario {args.scenario!r} (choose from: all, {names})")
+        return 2
+
+    print(
+        f"running chaos campaign: {len(selected)} scenario(s), "
+        f"seed {args.seed}..."
+    )
+    report = run_campaign(
+        selected, master_seed=args.seed, population=args.population
+    )
+    rows = []
+    for name, section in sorted(report["scenarios"].items()):
+        drops = section["transport"]["drops_by_reason"]
+        drop_text = (
+            " ".join(f"{reason}={count}" for reason, count in sorted(drops.items()))
+            or "-"
+        )
+        rows.append(
+            (
+                name,
+                f"{section['faults_injected']}",
+                f"{section['query']['completeness']:.3f}",
+                drop_text,
+                f"{section['violation_count']}",
+            )
+        )
+    print(format_table(
+        ["scenario", "faults", "completeness", "drops", "violations"],
+        rows,
+        title="Chaos campaign (seeded, reproducible)",
+    ))
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as handle:
+            handle.write(report_to_json(report))
+        print(f"report written to {args.out}")
+    if not report["ok"]:
+        for section in report["scenarios"].values():
+            for violation in section["violations"]:
+                print(f"VIOLATION [{section['name']}] {violation['invariant']}: "
+                      f"{violation['detail']}")
+        return 1
+    print("all invariants held")
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     """The CLI argument parser (exposed for tests)."""
     parser = argparse.ArgumentParser(
@@ -237,6 +294,24 @@ def build_parser() -> argparse.ArgumentParser:
         help="write the final metrics snapshot (JSON) to FILE",
     )
     run.set_defaults(func=_cmd_run)
+
+    chaos = sub.add_parser(
+        "chaos", help="seeded fault-injection campaign with invariant checks"
+    )
+    chaos.add_argument(
+        "--scenario", default="all",
+        help="scenario name, or 'all' (default) for the full campaign",
+    )
+    chaos.add_argument("--seed", type=int, default=0)
+    chaos.add_argument(
+        "--population", type=int, default=None,
+        help="override every scenario's endsystem population",
+    )
+    chaos.add_argument(
+        "--out", metavar="FILE", default=None,
+        help="write the JSON campaign report to FILE",
+    )
+    chaos.set_defaults(func=_cmd_chaos)
 
     return parser
 

@@ -528,6 +528,17 @@ class ResultAggregator:
         """Number of vertex states held as a backup."""
         return len(self._backups)
 
+    def vertex_inventory(self):
+        """Yield ``(query_id, vertex_id, role)`` for every held state.
+
+        ``role`` is ``"primary"`` or ``"backup"``.  Used by the
+        fault-injection invariant checkers to find orphaned state.
+        """
+        for query_id, vertex_id in self._vertices:
+            yield query_id, vertex_id, "primary"
+        for query_id, vertex_id in self._backups:
+            yield query_id, vertex_id, "backup"
+
     def reset_for_rejoin(self) -> None:
         """Clear volatile protocol state when the endsystem restarts.
 

@@ -165,10 +165,15 @@ class SeaweedNode:
         """
         if not self.pastry.online:
             return
+        now = self.sim.now
+        # Garbage-collect expired queries before repairing live ones, so
+        # no vertex or dissemination state outlives a query by more than
+        # one sweep (the "no orphaned VertexState" invariant).
+        self.aggregator.expire(now)
+        self.disseminator.expire(now)
         # Re-ask a neighbour for active queries: the join-time request may
         # have hit a member that had not heard of a query yet.
         self._request_active_queries()
-        now = self.sim.now
         for query_id, descriptor in list(self.known_queries.items()):
             if now > descriptor.expires_at or query_id in self.cancelled_queries:
                 continue

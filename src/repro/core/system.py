@@ -15,7 +15,7 @@ used for the prediction experiments (Figs. 5-8) lives in
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import TYPE_CHECKING, Optional
 
 import numpy as np
 
@@ -33,6 +33,10 @@ from repro.sim.randomness import RandomStreams
 from repro.sim.simulator import SimClock, Simulator
 from repro.traces.availability import AvailabilitySchedule, TraceSet
 from repro.workload.anemone import AnemoneDataset
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.faults.injector import FaultInjector
+    from repro.faults.plan import FaultPlan
 
 
 class SeaweedSystem:
@@ -52,6 +56,7 @@ class SeaweedSystem:
         id_seed: Optional[int] = None,
         private_databases: bool = False,
         observer: Optional[Observer] = None,
+        fault_plan: Optional["FaultPlan"] = None,
     ) -> None:
         """Build the deployment.
 
@@ -75,6 +80,12 @@ class SeaweedSystem:
             observer: Observability hub (:mod:`repro.obs`).  When ``None``
                 (or disabled) every instrumentation point collapses to a
                 single attribute check — the zero-cost path.
+            fault_plan: Declarative fault schedule (:mod:`repro.faults`).
+                Installed through a :class:`~repro.faults.injector.
+                FaultInjector` before the simulation starts; ``None``
+                leaves the deployment fault-free (and bit-identical to a
+                build without the faults subsystem: fault RNG streams are
+                only drawn when a plan is attached).
         """
         self.config = config if config is not None else SeaweedConfig()
         self.streams = RandomStreams(master_seed)
@@ -147,6 +158,13 @@ class SeaweedSystem:
         self._schedule_transitions(startup_stagger)
         self.overlay.start_heartbeats(self.accounting)
 
+        self.fault_injector: Optional["FaultInjector"] = None
+        if fault_plan is not None and len(fault_plan) > 0:
+            # Imported lazily: repro.faults depends on repro.core.
+            from repro.faults.injector import FaultInjector
+
+            self.fault_injector = FaultInjector(self, fault_plan)
+
     # ------------------------------------------------------------------
     # Availability driving
     # ------------------------------------------------------------------
@@ -171,6 +189,16 @@ class SeaweedSystem:
                 return
             node.go_offline()
         self._online_log.append((self.sim.now, self.overlay.online_count))
+
+    def force_transition(self, index: int, goes_up: bool) -> None:
+        """Force an endsystem up or down, outside its availability trace.
+
+        Used by fault injection (crash/restart bursts) and tests.  The
+        same guards as trace-driven transitions apply — forcing an
+        endsystem into the state it is already in is a no-op — and the
+        online log stays correct.
+        """
+        self._transition(index, goes_up)
 
     def pretrain_availability(self, until: Optional[float] = None) -> None:
         """Bulk-train every node's availability model from its history.
@@ -315,6 +343,8 @@ class SeaweedSystem:
             "transport": {
                 "dropped_offline": self.transport.dropped_offline,
                 "dropped_loss": self.transport.dropped_loss,
+                "dropped_unregistered": self.transport.dropped_unregistered,
+                "drops_by_reason": dict(self.transport.drops_by_reason),
             },
             "overlay": {
                 "routing_drops": self.overlay.routing_drops,

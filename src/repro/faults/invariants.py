@@ -1,0 +1,213 @@
+"""Invariant checkers: what must stay true no matter what faults ran.
+
+Each checker inspects a finished (or quiescent) deployment — its final
+protocol state plus the structured trace collected by :mod:`repro.obs`
+— and returns a list of :class:`Violation` records.  The four invariants
+mirror the paper's guarantees:
+
+* **exactly-once** (§3.3): the aggregated result never counts an
+  endsystem's contribution twice — the root's row count can lag the
+  ground truth (incompleteness is expected under faults) but must never
+  exceed it, at quiescence or at any instant in the trace;
+* **predictor monotonicity** (§3.1): refinement passes only improve the
+  completeness predictor — the endsystem coverage accepted at any node
+  never decreases;
+* **leafset reconvergence** (§3.5): once faults stop and repair has had
+  time to run, every online node's leafset is full again and contains
+  only online members;
+* **no orphaned vertex state** (§3.4): after a query expires (plus one
+  refresh sweep of grace), no node still holds aggregation-tree vertex
+  state for it.
+
+Checkers take the trace as a plain list of records (as collected by
+:class:`~repro.obs.tracing.MemorySink`), so they run identically over a
+live run or a JSONL trace loaded from disk.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Iterable, Optional
+
+from repro.core.query import QueryDescriptor
+from repro.core.system import SeaweedSystem
+
+#: Invariant names used in reports.
+EXACTLY_ONCE = "exactly_once"
+PREDICTOR_MONOTONE = "predictor_monotone"
+LEAFSET_RECONVERGENCE = "leafset_reconvergence"
+NO_ORPHANED_VERTEX_STATE = "no_orphaned_vertex_state"
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One observed breach of an invariant."""
+
+    invariant: str
+    detail: str
+    t: Optional[float] = None
+
+    def to_dict(self) -> dict[str, Any]:
+        """Plain-dict form for JSON reports."""
+        data: dict[str, Any] = {"invariant": self.invariant, "detail": self.detail}
+        if self.t is not None:
+            data["t"] = self.t
+        return data
+
+
+def _hx(value: int) -> str:
+    return format(value, "032x")
+
+
+def check_exactly_once(
+    system: SeaweedSystem,
+    descriptors: Iterable[QueryDescriptor],
+    trace: Iterable[dict] = (),
+) -> list[Violation]:
+    """No query's aggregated result may ever exceed the ground truth.
+
+    Checks both the final status (root + originator view) and, when a
+    trace is available, every root-level aggregation flush along the way
+    — a transient over-count is a double-count even if later state
+    changes mask it.
+    """
+    violations: list[Violation] = []
+    truths: dict[str, int] = {}
+    for descriptor in descriptors:
+        truth = system.ground_truth_rows(descriptor.sql, descriptor.now_binding)
+        truths[_hx(descriptor.query_id)] = truth
+        status = system.status_of(descriptor)
+        rows = status.rows_processed if status is not None else 0
+        if rows > truth:
+            violations.append(
+                Violation(
+                    EXACTLY_ONCE,
+                    f"query {_hx(descriptor.query_id)[:8]} final rows {rows} "
+                    f"> ground truth {truth}",
+                )
+            )
+    for record in trace:
+        if record.get("event") != "aggregation_flush" or not record.get("root"):
+            continue
+        truth = truths.get(record.get("query_id", ""))
+        if truth is None:
+            continue
+        rows = record.get("rows", 0)
+        if rows > truth:
+            violations.append(
+                Violation(
+                    EXACTLY_ONCE,
+                    f"query {record['query_id'][:8]} root flush rows {rows} "
+                    f"> ground truth {truth}",
+                    t=record.get("t"),
+                )
+            )
+    return violations
+
+
+def check_predictor_monotonicity(trace: Iterable[dict]) -> list[Violation]:
+    """Accepted predictor coverage never decreases at any node/role."""
+    violations: list[Violation] = []
+    last: dict[tuple[str, str, str], int] = {}
+    for record in trace:
+        if record.get("event") != "predictor_update":
+            continue
+        key = (
+            record.get("query_id", ""),
+            record.get("node", ""),
+            record.get("role", ""),
+        )
+        endsystems = int(record.get("endsystems", 0))
+        previous = last.get(key)
+        if previous is not None and endsystems < previous:
+            violations.append(
+                Violation(
+                    PREDICTOR_MONOTONE,
+                    f"query {key[0][:8]} at node {key[1][:8]} ({key[2]}): "
+                    f"coverage fell {previous} -> {endsystems}",
+                    t=record.get("t"),
+                )
+            )
+        last[key] = endsystems
+    return violations
+
+
+def check_leafset_reconvergence(system: SeaweedSystem) -> list[Violation]:
+    """Every online node's leafset is repaired: full, and all-online.
+
+    Call only after faults have stopped and the failure detector plus
+    leafset repair have had time to run (one heartbeat period plus
+    detection grace plus a stabilization round is enough in practice).
+    """
+    violations: list[Violation] = []
+    online = set(system.overlay.online_ids)
+    population = len(online)
+    leafset_size = system.config.overlay.leafset_size
+    for node in system.nodes:
+        if not node.pastry.online:
+            continue
+        leafset = node.pastry.leafset
+        if population > leafset_size and not leafset.is_full():
+            violations.append(
+                Violation(
+                    LEAFSET_RECONVERGENCE,
+                    f"node {_hx(node.node_id)[:8]} leafset not full "
+                    f"({len(leafset)} members, population {population})",
+                )
+            )
+        dead = [member for member in leafset.members if member not in online]
+        if dead:
+            violations.append(
+                Violation(
+                    LEAFSET_RECONVERGENCE,
+                    f"node {_hx(node.node_id)[:8]} leafset holds "
+                    f"{len(dead)} offline member(s)",
+                )
+            )
+    return violations
+
+
+def check_no_orphaned_vertex_state(
+    system: SeaweedSystem, grace: Optional[float] = None
+) -> list[Violation]:
+    """No node holds aggregation vertex state for an expired query.
+
+    ``grace`` is how long after expiry a node is allowed to keep state
+    (it drops it on its next refresh sweep); defaults to the configured
+    ``result_refresh_period``.
+    """
+    if grace is None:
+        grace = system.config.result_refresh_period
+    now = system.sim.now
+    violations: list[Violation] = []
+    for node in system.nodes:
+        for query_id, vertex_id, role in node.aggregator.vertex_inventory():
+            descriptor = node.known_query(query_id)
+            if descriptor is None:
+                continue
+            if now > descriptor.expires_at + grace:
+                violations.append(
+                    Violation(
+                        NO_ORPHANED_VERTEX_STATE,
+                        f"node {_hx(node.node_id)[:8]} still holds {role} state "
+                        f"for expired query {_hx(query_id)[:8]} "
+                        f"(vertex {_hx(vertex_id)[:8]})",
+                    )
+                )
+    return violations
+
+
+def run_standard_checks(
+    system: SeaweedSystem,
+    descriptors: Iterable[QueryDescriptor],
+    trace: Iterable[dict] = (),
+    check_leafsets: bool = True,
+) -> list[Violation]:
+    """Run every invariant checker and concatenate the violations."""
+    trace = list(trace)
+    violations = check_exactly_once(system, descriptors, trace)
+    violations.extend(check_predictor_monotonicity(trace))
+    if check_leafsets:
+        violations.extend(check_leafset_reconvergence(system))
+    violations.extend(check_no_orphaned_vertex_state(system))
+    return violations

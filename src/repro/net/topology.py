@@ -13,11 +13,18 @@ One-way message latency between endsystems is ``lan + rtt/2 + lan`` where
 ``rtt`` is the shortest-path RTT between their routers.  The all-pairs
 router distances are precomputed with SciPy (298 routers is tiny), so
 per-message latency lookup is O(1).
+
+The topology also carries *dynamic link state* for fault injection
+(:mod:`repro.faults`): router-group partitions (``partition``/``heal``)
+that make cross-cut endsystem pairs unreachable, and latency inflation
+windows (``inflate_latency``/``restore_latency``) that multiply the
+latency of affected paths.  With no faults active both features are a
+single empty-dict check on the latency hot path.
 """
 
 from __future__ import annotations
 
-from typing import Optional, Sequence
+from typing import Iterable, Optional, Sequence
 
 import numpy as np
 from scipy.sparse import csr_matrix
@@ -32,6 +39,7 @@ class Topology:
         num_routers: int,
         links: Sequence[tuple[int, int, float]],
         lan_delay: float = 0.001,
+        router_regions: Optional[Sequence[int]] = None,
     ) -> None:
         """Build a topology.
 
@@ -39,6 +47,8 @@ class Topology:
             num_routers: Number of routers, identified ``0..num_routers-1``.
             links: Undirected router links as ``(u, v, rtt_seconds)``.
             lan_delay: One-way endsystem-to-router delay (paper: 1 ms).
+            router_regions: Optional region id per router (used by fault
+                scenarios to express region-level partitions as data).
         """
         if num_routers <= 0:
             raise ValueError("topology needs at least one router")
@@ -47,6 +57,19 @@ class Topology:
         self.links = list(links)
         self._router_rtt = self._all_pairs_rtt(num_routers, self.links)
         self._attachment: dict[str, int] = {}
+        if router_regions is not None and len(router_regions) != num_routers:
+            raise ValueError(
+                f"router_regions has {len(router_regions)} entries "
+                f"for {num_routers} routers"
+            )
+        self.router_regions: Optional[list[int]] = (
+            list(router_regions) if router_regions is not None else None
+        )
+        # Dynamic link state (fault injection): active partition cuts and
+        # latency inflation overlays, keyed by an opaque token.
+        self._next_fault_token = 0
+        self._cuts: dict[int, tuple[frozenset[int], frozenset[int]]] = {}
+        self._inflations: dict[int, tuple[float, Optional[frozenset[int]]]] = {}
 
     @staticmethod
     def _all_pairs_rtt(
@@ -83,28 +106,142 @@ class Topology:
 
     def router_of(self, endsystem: str) -> int:
         """Router the endsystem is attached to."""
-        return self._attachment[endsystem]
+        router = self._attachment.get(endsystem)
+        if router is None:
+            raise ValueError(
+                f"endsystem {endsystem!r} is not attached to the topology"
+            )
+        return router
 
     def router_rtt(self, router_a: int, router_b: int) -> float:
         """Shortest-path RTT between two routers, in seconds."""
         return float(self._router_rtt[router_a, router_b])
 
     def latency(self, src: str, dst: str) -> float:
-        """One-way message latency between two endsystems, in seconds."""
+        """One-way message latency between two endsystems, in seconds.
+
+        Active latency-inflation overlays multiply the end-to-end latency
+        of paths touching their router set (or every path, for a global
+        overlay).
+        """
         if src == dst:
             return 0.0
-        router_src = self._attachment[src]
-        router_dst = self._attachment[dst]
-        return (
+        try:
+            router_src = self._attachment[src]
+            router_dst = self._attachment[dst]
+        except KeyError as exc:
+            raise ValueError(
+                f"endsystem {exc.args[0]!r} is not attached to the topology"
+            ) from None
+        latency = (
             self.lan_delay
             + float(self._router_rtt[router_src, router_dst]) / 2.0
             + self.lan_delay
         )
+        if self._inflations:
+            for factor, routers in self._inflations.values():
+                if (
+                    routers is None
+                    or router_src in routers
+                    or router_dst in routers
+                ):
+                    latency *= factor
+        return latency
 
     @property
     def endsystems(self) -> list[str]:
         """All attached endsystems, in attachment order."""
         return list(self._attachment)
+
+    # ------------------------------------------------------------------
+    # Dynamic link state (fault injection)
+    # ------------------------------------------------------------------
+
+    def partition(
+        self, routers_a: Iterable[int], routers_b: Iterable[int]
+    ) -> int:
+        """Cut all paths between two router groups.  Returns a heal token.
+
+        While the cut is active, :meth:`is_blocked` reports True for any
+        endsystem pair whose routers fall on opposite sides.  Multiple
+        cuts may be active at once; routers outside both groups are
+        unaffected by this cut.
+        """
+        group_a = frozenset(int(router) for router in routers_a)
+        group_b = frozenset(int(router) for router in routers_b)
+        if not group_a or not group_b:
+            raise ValueError("partition needs two non-empty router groups")
+        if group_a & group_b:
+            raise ValueError("partition groups must be disjoint")
+        for router in group_a | group_b:
+            if not 0 <= router < self.num_routers:
+                raise ValueError(f"unknown router {router}")
+        token = self._next_fault_token
+        self._next_fault_token += 1
+        self._cuts[token] = (group_a, group_b)
+        return token
+
+    def heal(self, token: int) -> None:
+        """Remove a partition cut.  Unknown tokens are a no-op."""
+        self._cuts.pop(token, None)
+
+    def is_blocked(self, src: str, dst: str) -> bool:
+        """Whether an active partition separates two endsystems."""
+        if not self._cuts or src == dst:
+            return False
+        router_src = self.router_of(src)
+        router_dst = self.router_of(dst)
+        for group_a, group_b in self._cuts.values():
+            if (router_src in group_a and router_dst in group_b) or (
+                router_src in group_b and router_dst in group_a
+            ):
+                return True
+        return False
+
+    def inflate_latency(
+        self, factor: float, routers: Optional[Iterable[int]] = None
+    ) -> int:
+        """Multiply path latency by ``factor``.  Returns a restore token.
+
+        ``routers`` limits the overlay to paths with at least one
+        endpoint attached to the given routers; ``None`` inflates every
+        path.
+        """
+        if factor <= 0:
+            raise ValueError(f"latency factor must be positive, got {factor}")
+        selected = (
+            frozenset(int(router) for router in routers)
+            if routers is not None
+            else None
+        )
+        token = self._next_fault_token
+        self._next_fault_token += 1
+        self._inflations[token] = (factor, selected)
+        return token
+
+    def restore_latency(self, token: int) -> None:
+        """Remove a latency-inflation overlay.  Unknown tokens are a no-op."""
+        self._inflations.pop(token, None)
+
+    @property
+    def active_faults(self) -> int:
+        """Number of active cuts and latency overlays (introspection)."""
+        return len(self._cuts) + len(self._inflations)
+
+    def routers_in_regions(self, regions: Iterable[int]) -> list[int]:
+        """All routers whose region id is in ``regions``.
+
+        Requires the topology to have been built with ``router_regions``
+        (as :func:`corpnet_like` does).
+        """
+        if self.router_regions is None:
+            raise ValueError("topology has no region information")
+        wanted = set(int(region) for region in regions)
+        return [
+            router
+            for router, region in enumerate(self.router_regions)
+            if region in wanted
+        ]
 
 
 def corpnet_like(
@@ -126,6 +263,7 @@ def corpnet_like(
         raise ValueError("need at least one router per region")
     links: list[tuple[int, int, float]] = []
     cores = list(range(num_regions))
+    region_of: list[int] = list(cores)
     # Intercontinental ring plus chords between the region cores.
     for i in cores:
         j = (i + 1) % num_regions
@@ -143,4 +281,5 @@ def corpnet_like(
         parent = members[int(rng.integers(0, len(members)))]
         links.append((router, parent, float(rng.uniform(0.0005, 0.008))))
         members.append(router)
-    return Topology(num_routers, links, lan_delay=lan_delay)
+        region_of.append(region)
+    return Topology(num_routers, links, lan_delay=lan_delay, router_regions=region_of)

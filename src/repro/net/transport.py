@@ -11,12 +11,20 @@ dropped — exactly what happens to packets sent to a powered-off host.
 Higher layers (Pastry, Seaweed trees) are responsible for detecting and
 recovering from such losses; the paper's protocols are designed around
 this.
+
+Fault injection (:mod:`repro.faults`) hooks in through the *interceptor
+chain*: every outgoing message is shown to each registered interceptor,
+which may let it pass, drop it with a reason, delay it, or duplicate it.
+The classic uniform ``loss_rate`` is itself an interceptor
+(:class:`UniformLossInterceptor`), installed automatically when a loss
+rate is configured, so a run with no fault plan behaves bit-identically
+to the pre-interceptor transport: same RNG draws, same event order.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import TYPE_CHECKING, Any, Callable, Optional
+from typing import TYPE_CHECKING, Any, Callable, Optional, Protocol
 
 import numpy as np
 
@@ -30,6 +38,12 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
 #: Fixed per-message header overhead in bytes (UDP/IP + overlay header),
 #: matching the order of magnitude MSPastry reports.
 MESSAGE_HEADER_BYTES = 48
+
+#: Canonical drop reasons used by the transport itself; interceptors may
+#: introduce further reasons (e.g. ``"partition"``, ``"fault_loss"``).
+DROP_LOSS = "loss"
+DROP_OFFLINE = "offline"
+DROP_UNREGISTERED = "unregistered"
 
 
 @dataclass
@@ -61,6 +75,80 @@ class Message:
 Handler = Callable[[str, Message], None]
 
 
+class Decision:
+    """What an interceptor wants done with a message.
+
+    Interceptors return ``None`` to pass a message through untouched;
+    otherwise a :class:`Decision` combining:
+
+    * ``drop_reason`` — drop the message, counted under this reason;
+    * ``extra_delay`` — add seconds on top of the topology latency;
+    * ``duplicates`` — deliver this many extra copies, each
+      ``duplicate_delay`` seconds after the original.
+
+    Drop wins over everything else; delays from successive interceptors
+    accumulate.
+    """
+
+    __slots__ = ("drop_reason", "extra_delay", "duplicates", "duplicate_delay")
+
+    def __init__(
+        self,
+        drop_reason: Optional[str] = None,
+        extra_delay: float = 0.0,
+        duplicates: int = 0,
+        duplicate_delay: float = 0.0,
+    ) -> None:
+        if extra_delay < 0:
+            raise ValueError(f"extra_delay must be >= 0, got {extra_delay}")
+        if duplicates < 0:
+            raise ValueError(f"duplicates must be >= 0, got {duplicates}")
+        self.drop_reason = drop_reason
+        self.extra_delay = extra_delay
+        self.duplicates = duplicates
+        self.duplicate_delay = duplicate_delay
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Decision(drop_reason={self.drop_reason!r}, "
+            f"extra_delay={self.extra_delay}, duplicates={self.duplicates})"
+        )
+
+
+#: Shared immutable decision for the common uniform-loss drop.
+DECISION_DROP_LOSS = Decision(drop_reason=DROP_LOSS)
+
+
+class Interceptor(Protocol):
+    """The interceptor interface: one look at every outgoing message."""
+
+    def intercept(
+        self, now: float, src: str, dst: str, message: Message
+    ) -> Optional[Decision]:
+        """Return ``None`` to pass through, or a :class:`Decision`."""
+        ...  # pragma: no cover - protocol definition
+
+
+class UniformLossInterceptor:
+    """The classic uniform loss model as the default interceptor.
+
+    Draws exactly one uniform variate per message (the same stream, in
+    the same order, as the pre-interceptor transport) and drops with
+    probability ``rate``.
+    """
+
+    def __init__(self, rate: float, rng: np.random.Generator) -> None:
+        self.rate = rate
+        self._rng = rng
+
+    def intercept(
+        self, now: float, src: str, dst: str, message: Message
+    ) -> Optional[Decision]:
+        if self._rng.random() < self.rate:
+            return DECISION_DROP_LOSS
+        return None
+
+
 class Transport:
     """Delivers :class:`Message` objects between endsystems via the simulator."""
 
@@ -86,6 +174,13 @@ class Transport:
         self._online: dict[str, bool] = {}
         self.dropped_offline = 0
         self.dropped_loss = 0
+        self.dropped_unregistered = 0
+        #: Drop counts for every reason, including interceptor-specific
+        #: reasons ("partition", "fault_loss", ...).
+        self.drops_by_reason: dict[str, int] = {}
+        self._interceptors: list[Interceptor] = []
+        if loss_rate > 0.0:
+            self._interceptors.append(UniformLossInterceptor(loss_rate, loss_rng))
         self._obs = observer if (observer is not None and observer.enabled) else None
         if self._obs is not None:
             metrics = self._obs.metrics
@@ -97,6 +192,30 @@ class Transport:
             self._c_messages = None
             self._c_bytes = None
             self._c_category = {}
+
+    # ------------------------------------------------------------------
+    # Interceptor chain
+    # ------------------------------------------------------------------
+
+    def add_interceptor(self, interceptor: Interceptor) -> None:
+        """Append an interceptor to the chain (fault injection hook)."""
+        self._interceptors.append(interceptor)
+
+    def remove_interceptor(self, interceptor: Interceptor) -> None:
+        """Remove a previously added interceptor.  Missing is a no-op."""
+        try:
+            self._interceptors.remove(interceptor)
+        except ValueError:
+            pass
+
+    @property
+    def interceptors(self) -> tuple[Interceptor, ...]:
+        """The current interceptor chain (read-only view)."""
+        return tuple(self._interceptors)
+
+    # ------------------------------------------------------------------
+    # Registration and liveness
+    # ------------------------------------------------------------------
 
     def register(self, endsystem: str, handler: Handler) -> None:
         """Register the message handler for ``endsystem`` (initially offline)."""
@@ -111,12 +230,17 @@ class Transport:
         """Whether the endsystem is currently up."""
         return self._online.get(endsystem, False)
 
+    # ------------------------------------------------------------------
+    # Sending and delivery
+    # ------------------------------------------------------------------
+
     def send(self, src: str, dst: str, message: Message) -> None:
         """Send ``message`` from ``src`` to ``dst``.
 
         Bytes are accounted at send time (they hit the wire regardless of
-        whether the destination is up).  Delivery is scheduled after the
-        topology latency; lost or dead-destination messages silently drop.
+        whether the destination is up).  The interceptor chain then rules
+        on the message's fate; surviving messages are scheduled for
+        delivery after the topology latency plus any injected delay.
         """
         message.src = src
         if self.accounting is not None:
@@ -134,24 +258,59 @@ class Transport:
                     )
                 )
             by_category.inc(message.wire_size)
-        if self.loss_rate > 0.0 and self._loss_rng.random() < self.loss_rate:
-            self.dropped_loss += 1
-            if self._obs is not None:
-                self._obs.message_drop(self.sim.now, dst, message.kind, "loss")
-            return
-        latency = self.topology.latency(src, dst)
+        extra_delay = 0.0
+        duplications: Optional[list[Decision]] = None
+        if self._interceptors:
+            now = self.sim.now
+            for interceptor in self._interceptors:
+                decision = interceptor.intercept(now, src, dst, message)
+                if decision is None:
+                    continue
+                if decision.drop_reason is not None:
+                    self._count_drop(dst, message, decision.drop_reason)
+                    return
+                extra_delay += decision.extra_delay
+                if decision.duplicates:
+                    if duplications is None:
+                        duplications = []
+                    duplications.append(decision)
+        latency = self.topology.latency(src, dst) + extra_delay
         self.sim.schedule(latency, self._deliver, dst, message)
+        if duplications is not None:
+            for decision in duplications:
+                for copy in range(decision.duplicates):
+                    self.sim.schedule(
+                        latency + (copy + 1) * decision.duplicate_delay,
+                        self._deliver,
+                        dst,
+                        message,
+                    )
+
+    def _count_drop(self, dst: str, message: Message, reason: str) -> None:
+        if reason == DROP_LOSS:
+            self.dropped_loss += 1
+        self.drops_by_reason[reason] = self.drops_by_reason.get(reason, 0) + 1
+        if self._obs is not None:
+            self._obs.message_drop(self.sim.now, dst, message.kind, reason)
 
     def _deliver(self, dst: str, message: Message) -> None:
         if not self._online.get(dst, False):
             self.dropped_offline += 1
+            self.drops_by_reason[DROP_OFFLINE] = (
+                self.drops_by_reason.get(DROP_OFFLINE, 0) + 1
+            )
             if self._obs is not None:
-                self._obs.message_drop(self.sim.now, dst, message.kind, "offline")
+                self._obs.message_drop(self.sim.now, dst, message.kind, DROP_OFFLINE)
             return
         handler = self._handlers.get(dst)
         if handler is None:
-            self.dropped_offline += 1
+            self.dropped_unregistered += 1
+            self.drops_by_reason[DROP_UNREGISTERED] = (
+                self.drops_by_reason.get(DROP_UNREGISTERED, 0) + 1
+            )
             if self._obs is not None:
-                self._obs.message_drop(self.sim.now, dst, message.kind, "unregistered")
+                self._obs.message_drop(
+                    self.sim.now, dst, message.kind, DROP_UNREGISTERED
+                )
             return
         handler(dst, message)

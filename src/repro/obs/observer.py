@@ -61,6 +61,7 @@ class Observer:
             reason: m.counter("transport.dropped_total", reason=reason)
             for reason in ("loss", "offline", "unregistered")
         }
+        self._c_faults: dict[str, object] = {}
 
     @classmethod
     def disabled(cls) -> "Observer":
@@ -148,12 +149,26 @@ class Observer:
             self.tracer.event(t, "leafset_repair", node=_hx(node), dead=_hx(dead))
 
     def message_drop(self, t: float, dst: str, kind: str, reason: str) -> None:
-        """A message was dropped in the transport (loss / dead host)."""
+        """A message was dropped in the transport (loss / dead host / fault)."""
         counter = self._c_drops.get(reason)
-        if counter is not None:
-            counter.inc()
+        if counter is None:
+            # Fault injection introduces new drop reasons at run time
+            # (e.g. "partition"); bind their counters lazily.
+            counter = self.metrics.counter("transport.dropped_total", reason=reason)
+            self._c_drops[reason] = counter
+        counter.inc()
         if self.tracer.enabled:
             self.tracer.event(t, "message_drop", dst=dst, kind=kind, reason=reason)
+
+    def fault_injected(self, t: float, kind: str, detail: str) -> None:
+        """A declared fault event activated (window opened, burst fired)."""
+        counter = self._c_faults.get(kind)
+        if counter is None:
+            counter = self.metrics.counter("faults.injected_total", kind=kind)
+            self._c_faults[kind] = counter
+        counter.inc()
+        if self.tracer.enabled:
+            self.tracer.event(t, "fault_injected", kind=kind, detail=detail)
 
     def endsystem_up(self, t: float, node: int) -> None:
         """An endsystem became available and is (re)joining."""

@@ -1,0 +1,120 @@
+"""Tests for scenarios and the campaign runner, including determinism."""
+
+import json
+
+import pytest
+
+from repro.core import SeaweedSystem
+from repro.faults import (
+    ChaosScenario,
+    CrashBurst,
+    FaultPlan,
+    SlowNode,
+    builtin_scenarios,
+    report_to_json,
+    run_campaign,
+    run_scenario,
+)
+from repro.traces import AvailabilitySchedule, TraceSet
+from repro.workload import QUERY_HTTP_BYTES
+
+
+def _quick_scenario() -> ChaosScenario:
+    plan = FaultPlan(
+        name="quick",
+        events=(
+            SlowNode(start=60.0, end=300.0, extra_delay=0.2, fraction=0.2),
+            CrashBurst(at=180.0, fraction=0.2, down_for=90.0),
+        ),
+    )
+    return ChaosScenario(
+        name="quick",
+        description="short mixed-fault scenario for tests",
+        plan=plan,
+        population=12,
+        duration=600.0,
+        inject_at=90.0,
+    )
+
+
+class TestScenarios:
+    def test_builtins_cover_the_issue_list(self):
+        names = set(builtin_scenarios())
+        assert names == {
+            "lossy-wan", "core-partition", "flash-crowd-churn", "slow-node",
+        }
+
+    def test_scaled_overrides_population_only(self):
+        scenario = builtin_scenarios()["lossy-wan"]
+        scaled = scenario.scaled(64)
+        assert scaled.population == 64
+        assert scaled.plan == scenario.plan
+        assert scaled.duration == scenario.duration
+
+
+class TestRunScenario:
+    def test_report_shape_and_no_violations(self):
+        report = run_scenario(_quick_scenario(), master_seed=5)
+        assert report["name"] == "quick"
+        assert report["violation_count"] == 0
+        assert report["violations"] == []
+        assert report["faults_injected"] >= 2
+        assert report["query"]["ground_truth_rows"] > 0
+        assert 0.0 <= report["query"]["completeness"] <= 1.0
+        assert report["plan"] == _quick_scenario().plan.to_dict()
+        # Crash burst drops in-flight traffic to the downed endsystems.
+        assert report["transport"]["dropped_offline"] >= 0
+        json.dumps(report)  # must be JSON-serializable as-is
+
+
+class TestDeterminism:
+    def test_same_seed_same_report_bytes(self):
+        scenario = _quick_scenario()
+        first = run_campaign([scenario], master_seed=5)
+        second = run_campaign([scenario], master_seed=5)
+        assert report_to_json(first) == report_to_json(second)
+
+    def test_different_seed_different_run(self):
+        scenario = _quick_scenario()
+        first = run_campaign([scenario], master_seed=5)
+        second = run_campaign([scenario], master_seed=6)
+        # Seeds flow through: at minimum the recorded seed differs.
+        assert (
+            first["scenarios"]["quick"]["seed"]
+            != second["scenarios"]["quick"]["seed"]
+        )
+
+    def test_same_seed_and_plan_identical_metrics_snapshot(self, small_dataset):
+        plan = _quick_scenario().plan
+
+        def snapshot() -> str:
+            horizon = 700.0
+            schedules = [
+                AvailabilitySchedule.always_on(horizon) for _ in range(12)
+            ]
+            trace = TraceSet(schedules, horizon)
+            system = SeaweedSystem(
+                trace, small_dataset, num_endsystems=12, master_seed=17,
+                startup_stagger=30.0, fault_plan=plan,
+            )
+            system.run_until(90.0)
+            system.inject_query(QUERY_HTTP_BYTES)
+            system.run_until(600.0)
+            return json.dumps(system.metrics_snapshot(), sort_keys=True)
+
+        assert snapshot() == snapshot()
+
+
+class TestRunCampaign:
+    def test_campaign_aggregates_sections(self):
+        scenario = _quick_scenario()
+        report = run_campaign([scenario], master_seed=5)
+        assert set(report) == {"master_seed", "scenarios", "total_violations", "ok"}
+        assert report["ok"] is True
+        assert report["total_violations"] == 0
+        assert list(report["scenarios"]) == ["quick"]
+
+    def test_population_override(self):
+        scenario = _quick_scenario()
+        report = run_campaign([scenario], master_seed=5, population=10)
+        assert report["scenarios"]["quick"]["population"] == 10

@@ -1,0 +1,90 @@
+"""Tests for the fault plan model: validation and round-tripping."""
+
+import pytest
+
+from repro.faults import (
+    CrashBurst,
+    Duplication,
+    FaultEvent,
+    FaultPlan,
+    LatencyInflation,
+    LinkPartition,
+    MessageLoss,
+    SlowNode,
+)
+
+
+class TestValidation:
+    def test_partition_needs_both_sides(self):
+        with pytest.raises(ValueError, match="side B"):
+            FaultPlan(events=(LinkPartition(start=0.0, heal_at=10.0, routers_a=(1,)),))
+
+    def test_window_must_be_ordered(self):
+        with pytest.raises(ValueError, match="after start"):
+            MessageLoss(start=10.0, end=5.0, rate=0.1).validate()
+
+    def test_rate_bounds(self):
+        with pytest.raises(ValueError, match="rate"):
+            MessageLoss(start=0.0, end=1.0, rate=1.0).validate()
+
+    def test_crash_burst_fraction_bounds(self):
+        with pytest.raises(ValueError, match="fraction"):
+            CrashBurst(at=0.0, fraction=0.0).validate()
+        CrashBurst(at=0.0, fraction=1.0).validate()
+
+    def test_slow_node_needs_selection(self):
+        with pytest.raises(ValueError, match="select endsystems"):
+            SlowNode(start=0.0, end=1.0, extra_delay=0.1).validate()
+
+    def test_duplication_copies(self):
+        with pytest.raises(ValueError, match="copies"):
+            Duplication(start=0.0, end=1.0, rate=0.1, copies=0).validate()
+
+    def test_plan_validates_events_eagerly(self):
+        with pytest.raises(ValueError):
+            FaultPlan(events=(LatencyInflation(start=0.0, end=5.0, factor=-1.0),))
+
+
+class TestRoundTrip:
+    @pytest.fixture
+    def plan(self) -> FaultPlan:
+        return FaultPlan(
+            name="kitchen-sink",
+            events=(
+                LinkPartition(start=1.0, heal_at=2.0, regions_a=(0,), regions_b=(1,)),
+                LatencyInflation(start=0.0, end=3.0, factor=2.5, routers=(1, 2)),
+                MessageLoss(start=0.0, end=4.0, rate=0.2, kinds=("HEARTBEAT",)),
+                Duplication(start=0.0, end=4.0, rate=0.1, copies=2, copy_delay=0.2),
+                CrashBurst(at=5.0, fraction=0.3, down_for=60.0, restart_jitter=10.0),
+                SlowNode(start=0.0, end=9.0, extra_delay=0.5, endsystems=(3, 4)),
+            ),
+        )
+
+    def test_dict_round_trip(self, plan):
+        assert FaultPlan.from_dict(plan.to_dict()) == plan
+
+    def test_json_round_trip(self, plan):
+        assert FaultPlan.from_json(plan.to_json()) == plan
+
+    def test_json_is_stable(self, plan):
+        assert plan.to_json() == plan.to_json()
+
+    def test_horizon(self, plan):
+        assert plan.horizon == pytest.approx(75.0)  # crash at 5 + 60 + 10
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError, match="unknown fault event kind"):
+            FaultEvent.from_dict({"kind": "meteor_strike"})
+
+    def test_unknown_field_rejected(self):
+        with pytest.raises(ValueError, match="unknown field"):
+            FaultEvent.from_dict(
+                {"kind": "message_loss", "start": 0.0, "end": 1.0,
+                 "rate": 0.1, "severity": "bad"}
+            )
+
+    def test_len_and_iter(self, plan):
+        assert len(plan) == 6
+        assert [event.kind for event in plan][:2] == [
+            "link_partition", "latency_inflation",
+        ]

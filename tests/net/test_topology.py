@@ -85,3 +85,108 @@ class TestCorpnetLike:
     def test_too_few_routers_rejected(self, rng):
         with pytest.raises(ValueError):
             corpnet_like(rng, num_routers=3, num_regions=8)
+
+
+class TestDescriptiveErrors:
+    def test_router_of_unattached_names_endsystem(self, triangle):
+        with pytest.raises(ValueError, match="'ghost' is not attached"):
+            triangle.router_of("ghost")
+
+    def test_latency_unattached_names_endsystem(self, triangle):
+        triangle.attach("a", 0)
+        with pytest.raises(ValueError, match="'ghost' is not attached"):
+            triangle.latency("a", "ghost")
+        with pytest.raises(ValueError, match="'phantom' is not attached"):
+            triangle.latency("phantom", "a")
+
+
+class TestPartition:
+    @pytest.fixture
+    def attached(self, triangle):
+        triangle.attach("a", 0)
+        triangle.attach("b", 1)
+        triangle.attach("c", 2)
+        return triangle
+
+    def test_partition_blocks_cross_pairs_only(self, attached):
+        token = attached.partition([0], [1])
+        assert attached.is_blocked("a", "b")
+        assert attached.is_blocked("b", "a")
+        assert not attached.is_blocked("a", "c")  # router 2 untouched
+        assert not attached.is_blocked("a", "a")
+        attached.heal(token)
+        assert not attached.is_blocked("a", "b")
+
+    def test_multiple_cuts_stack(self, attached):
+        token_ab = attached.partition([0], [1])
+        token_ac = attached.partition([0], [2])
+        assert attached.is_blocked("a", "b")
+        assert attached.is_blocked("a", "c")
+        attached.heal(token_ab)
+        assert not attached.is_blocked("a", "b")
+        assert attached.is_blocked("a", "c")
+        attached.heal(token_ac)
+        assert attached.active_faults == 0
+
+    def test_heal_unknown_token_is_noop(self, attached):
+        attached.heal(999)
+
+    def test_invalid_groups_rejected(self, attached):
+        with pytest.raises(ValueError):
+            attached.partition([], [1])
+        with pytest.raises(ValueError):
+            attached.partition([0, 1], [1, 2])  # overlap
+        with pytest.raises(ValueError):
+            attached.partition([0], [99])  # unknown router
+
+
+class TestLatencyInflation:
+    @pytest.fixture
+    def attached(self, triangle):
+        triangle.attach("a", 0)
+        triangle.attach("b", 1)
+        triangle.attach("c", 2)
+        return triangle
+
+    def test_global_inflation(self, attached):
+        base = attached.latency("a", "b")
+        token = attached.inflate_latency(3.0)
+        assert attached.latency("a", "b") == pytest.approx(3.0 * base)
+        attached.restore_latency(token)
+        assert attached.latency("a", "b") == pytest.approx(base)
+
+    def test_scoped_inflation_spares_other_paths(self, attached):
+        base_ab = attached.latency("a", "b")
+        base_bc = attached.latency("b", "c")
+        token = attached.inflate_latency(2.0, routers=[0])
+        assert attached.latency("a", "b") == pytest.approx(2.0 * base_ab)
+        assert attached.latency("b", "c") == pytest.approx(base_bc)
+        attached.restore_latency(token)
+
+    def test_invalid_factor_rejected(self, attached):
+        with pytest.raises(ValueError):
+            attached.inflate_latency(0.0)
+
+
+class TestRegions:
+    def test_corpnet_like_carries_regions(self, rng):
+        topology = corpnet_like(rng, num_routers=40, num_regions=4)
+        assert topology.router_regions is not None
+        assert len(topology.router_regions) == 40
+        assert set(topology.router_regions) == {0, 1, 2, 3}
+        # Cores are their own region heads.
+        assert topology.router_regions[:4] == [0, 1, 2, 3]
+
+    def test_routers_in_regions(self, rng):
+        topology = corpnet_like(rng, num_routers=40, num_regions=4)
+        selected = topology.routers_in_regions([0, 2])
+        assert selected
+        assert all(topology.router_regions[r] in (0, 2) for r in selected)
+
+    def test_region_query_without_regions_raises(self, triangle):
+        with pytest.raises(ValueError, match="no region information"):
+            triangle.routers_in_regions([0])
+
+    def test_region_length_validated(self):
+        with pytest.raises(ValueError):
+            Topology(2, [(0, 1, 0.01)], router_regions=[0])

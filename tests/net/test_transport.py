@@ -5,7 +5,14 @@ import pytest
 
 from repro.net.stats import BandwidthAccounting
 from repro.net.topology import Topology
-from repro.net.transport import MESSAGE_HEADER_BYTES, Message, Transport
+from repro.net.transport import (
+    DECISION_DROP_LOSS,
+    MESSAGE_HEADER_BYTES,
+    Decision,
+    Message,
+    Transport,
+    UniformLossInterceptor,
+)
 from repro.sim import Simulator
 
 
@@ -45,6 +52,8 @@ class TestDelivery:
         sim.run()
         assert received == []
         assert transport.dropped_offline == 1
+        assert transport.dropped_unregistered == 0
+        assert transport.drops_by_reason == {"offline": 1}
 
     def test_destination_goes_down_mid_flight(self, setup):
         sim, transport, _ = setup
@@ -57,11 +66,15 @@ class TestDelivery:
         assert received == []
 
     def test_unregistered_destination_drops(self, setup):
+        # "b" is online but never registered a handler: that is a distinct
+        # failure mode (host up, service absent) with its own counter.
         sim, transport, _ = setup
         transport.set_online("b", True)
         transport.send("a", "b", Message("HELLO", None, size=10))
         sim.run()
-        assert transport.dropped_offline == 1
+        assert transport.dropped_unregistered == 1
+        assert transport.dropped_offline == 0
+        assert transport.drops_by_reason == {"unregistered": 1}
 
 
 class TestAccounting:
@@ -104,6 +117,20 @@ class TestLoss:
         sim.run()
         assert 130 < len(received) < 270  # ~50% with slack
         assert transport.dropped_loss == 400 - len(received)
+        assert transport.drops_by_reason == {"loss": transport.dropped_loss}
+
+    def test_uniform_loss_is_an_interceptor(self):
+        sim = Simulator()
+        topology = Topology(1, [(0, 0, 0.0)])
+        transport = Transport(
+            sim, topology, loss_rate=0.3, loss_rng=np.random.default_rng(0)
+        )
+        assert len(transport.interceptors) == 1
+        assert isinstance(transport.interceptors[0], UniformLossInterceptor)
+
+    def test_no_loss_means_empty_chain(self, setup):
+        _, transport, _ = setup
+        assert transport.interceptors == ()
 
     def test_loss_requires_rng(self):
         sim = Simulator()
@@ -116,3 +143,94 @@ class TestLoss:
         topology = Topology(1, [(0, 0, 0.0)])
         with pytest.raises(ValueError):
             Transport(sim, topology, loss_rate=1.5, loss_rng=np.random.default_rng(0))
+
+
+class _Always:
+    """Test interceptor returning a fixed decision for matching kinds."""
+
+    def __init__(self, decision, kind=None):
+        self.decision = decision
+        self.kind = kind
+        self.seen = 0
+
+    def intercept(self, now, src, dst, message):
+        self.seen += 1
+        if self.kind is not None and message.kind != self.kind:
+            return None
+        return self.decision
+
+
+class TestInterceptors:
+    def test_drop_decision_counts_under_its_reason(self, setup):
+        sim, transport, _ = setup
+        received = []
+        transport.register("b", lambda dst, msg: received.append(msg))
+        transport.set_online("b", True)
+        transport.add_interceptor(_Always(Decision(drop_reason="partition")))
+        transport.send("a", "b", Message("HELLO", None, size=10))
+        sim.run()
+        assert received == []
+        assert transport.drops_by_reason == {"partition": 1}
+        # Interceptor drops with custom reasons do not pollute the
+        # uniform-loss counter.
+        assert transport.dropped_loss == 0
+
+    def test_extra_delay_accumulates_across_interceptors(self, setup):
+        sim, transport, _ = setup
+        received = []
+        transport.register("b", lambda dst, msg: received.append(sim.now))
+        transport.set_online("b", True)
+        transport.add_interceptor(_Always(Decision(extra_delay=0.1)))
+        transport.add_interceptor(_Always(Decision(extra_delay=0.2)))
+        transport.send("a", "b", Message("HELLO", None, size=10))
+        sim.run()
+        base = 0.001 + 0.005 + 0.001
+        assert received == [pytest.approx(base + 0.3)]
+
+    def test_duplication_delivers_extra_copies(self, setup):
+        sim, transport, _ = setup
+        received = []
+        transport.register("b", lambda dst, msg: received.append(sim.now))
+        transport.set_online("b", True)
+        transport.add_interceptor(
+            _Always(Decision(duplicates=2, duplicate_delay=0.5))
+        )
+        transport.send("a", "b", Message("HELLO", None, size=10))
+        sim.run()
+        base = 0.001 + 0.005 + 0.001
+        assert received == [
+            pytest.approx(base),
+            pytest.approx(base + 0.5),
+            pytest.approx(base + 1.0),
+        ]
+
+    def test_drop_wins_over_later_interceptors(self, setup):
+        sim, transport, _ = setup
+        transport.register("b", lambda dst, msg: None)
+        transport.set_online("b", True)
+        late = _Always(Decision(extra_delay=1.0))
+        transport.add_interceptor(_Always(DECISION_DROP_LOSS))
+        transport.add_interceptor(late)
+        transport.send("a", "b", Message("HELLO", None, size=10))
+        sim.run()
+        assert transport.dropped_loss == 1
+        assert late.seen == 0  # chain stops at the drop
+
+    def test_remove_interceptor(self, setup):
+        sim, transport, _ = setup
+        received = []
+        transport.register("b", lambda dst, msg: received.append(msg))
+        transport.set_online("b", True)
+        dropper = _Always(DECISION_DROP_LOSS)
+        transport.add_interceptor(dropper)
+        transport.remove_interceptor(dropper)
+        transport.remove_interceptor(dropper)  # second removal is a no-op
+        transport.send("a", "b", Message("HELLO", None, size=10))
+        sim.run()
+        assert len(received) == 1
+
+    def test_invalid_decision_rejected(self):
+        with pytest.raises(ValueError):
+            Decision(extra_delay=-1.0)
+        with pytest.raises(ValueError):
+            Decision(duplicates=-1)

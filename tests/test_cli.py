@@ -26,6 +26,13 @@ class TestParser:
         assert args.trace_out is None
         assert args.metrics_out is None
 
+    def test_chaos_defaults(self):
+        args = build_parser().parse_args(["chaos"])
+        assert args.scenario == "all"
+        assert args.seed == 0
+        assert args.population is None
+        assert args.out is None
+
 
 class TestCommands:
     def test_models_runs(self, capsys):
@@ -94,3 +101,33 @@ class TestCommands:
             for name, value in snapshot["metrics"]["counters"].items()
             if name.startswith("transport.")
         )
+
+    def test_chaos_single_scenario_with_report(self, tmp_path, capsys):
+        report_path = tmp_path / "chaos.json"
+        assert (
+            main(
+                [
+                    "chaos",
+                    "--scenario", "slow-node",
+                    "--population", "12",
+                    "--seed", "3",
+                    "--out", str(report_path),
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "Chaos campaign" in out
+        assert "all invariants held" in out
+
+        report = json.loads(report_path.read_text())
+        assert report["ok"] is True
+        assert report["total_violations"] == 0
+        section = report["scenarios"]["slow-node"]
+        assert section["violation_count"] == 0
+        assert section["faults_injected"] >= 1
+        assert "drops_by_reason" in section["transport"]
+
+    def test_chaos_unknown_scenario_rejected(self, capsys):
+        assert main(["chaos", "--scenario", "meteor"]) == 2
+        assert "unknown scenario" in capsys.readouterr().out

@@ -120,6 +120,7 @@ def _cmd_predict(args: argparse.Namespace) -> int:
 def _cmd_run(args: argparse.Namespace) -> int:
     import json
 
+    from repro.core.config import SeaweedConfig
     from repro.harness.overhead import run_overhead_experiment
     from repro.harness.reporting import format_table
     from repro.net.stats import (
@@ -127,6 +128,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
         CATEGORY_OVERLAY,
         CATEGORY_QUERY,
     )
+    from repro.net.transport import BatchingConfig
     from repro.obs import JSONLSink, Observer
 
     observer = None
@@ -138,9 +140,14 @@ def _cmd_run(args: argparse.Namespace) -> int:
             profile=True,
         )
 
+    config = None
+    if getattr(args, "batching", False):
+        config = SeaweedConfig(batching=BatchingConfig(enabled=True))
+
     print(
         f"running packet-level deployment: {args.population} endsystems, "
-        f"{args.hours:.1f} h, {args.kind} trace..."
+        f"{args.hours:.1f} h, {args.kind} trace"
+        f"{', destination batching' if config is not None else ''}..."
     )
     result = run_overhead_experiment(
         num_endsystems=args.population,
@@ -148,6 +155,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
         duration=args.hours * 3600.0,
         seed=args.seed,
         query_sql=args.sql,
+        config=config,
         observer=observer,
     )
     rows = [
@@ -161,6 +169,14 @@ def _cmd_run(args: argparse.Namespace) -> int:
                        title="Overhead breakdown (cf. Fig 9a)"))
     print(f"predictor latency: {result.predictor_latency}")
     print(f"completeness samples: {result.completeness}")
+    if result.batching.get("enabled"):
+        stats = result.batching
+        print(
+            f"batching: {result.messages_sent} messages in "
+            f"{stats['batches_flushed']} frames "
+            f"({stats['coalesced_messages']} coalesced, "
+            f"{stats['header_bytes_saved']} header bytes saved)"
+        )
 
     if observer is not None:
         observer.close()
@@ -285,6 +301,10 @@ def build_parser() -> argparse.ArgumentParser:
         "--sql", default="SELECT SUM(Bytes) FROM Flow WHERE SrcPort = 80"
     )
     run.add_argument("--seed", type=int, default=0)
+    run.add_argument(
+        "--batching", action="store_true",
+        help="enable destination batching/coalescing in the transport",
+    )
     run.add_argument(
         "--trace-out", metavar="FILE", default=None,
         help="write a JSONL event trace of the run to FILE",

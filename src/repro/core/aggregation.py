@@ -27,6 +27,7 @@ exactly-once property of §2.3.
 
 from __future__ import annotations
 
+import dataclasses
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Callable, Optional
 
@@ -34,13 +35,15 @@ from repro.core.query import QueryDescriptor
 from repro.db.aggregates import AggregateState
 from repro.db.executor import QueryResult
 from repro.overlay.ids import common_suffix_len, replace_suffix
+from repro.proto.messages import ResultAck, ResultSubmit, VertexRepl
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.core.node import SeaweedNode
 
-KIND_RESULT_SUBMIT = "SW_RESULT_SUBMIT"
-KIND_RESULT_ACK = "SW_RESULT_ACK"
-KIND_VERTEX_REPL = "SW_VERTEX_REPL"
+# Wire tags, re-exported for compatibility; the message classes own them.
+KIND_RESULT_SUBMIT = ResultSubmit.KIND
+KIND_RESULT_ACK = ResultAck.KIND
+KIND_VERTEX_REPL = VertexRepl.KIND
 
 MAX_VERTEX_LEVELS = 64  # loop guard; the chain length is bounded by 128/b
 
@@ -242,17 +245,16 @@ class ResultAggregator:
         version: int,
         payload: dict,
     ) -> None:
-        message = {
-            "descriptor": descriptor.to_payload(),
-            "vertex_id": vertex_id,
-            "contributor": contributor,
-            "submitter": self.node.node_id,
-            "version": version,
-            "result": payload,
-        }
-        size = 64 + len(descriptor.sql) + 8 * len(payload["states"]) * 4
-        self.node.pastry.route(
-            vertex_id, KIND_RESULT_SUBMIT, message, size, category="query"
+        self.node.pastry.route_app(
+            vertex_id,
+            ResultSubmit(
+                descriptor=descriptor,
+                vertex_id=vertex_id,
+                contributor=contributor,
+                submitter=self.node.node_id,
+                version=version,
+                result=payload,
+            ),
         )
 
     def _ensure_retransmit_timer(self) -> None:
@@ -287,37 +289,35 @@ class ResultAggregator:
     # Primary path
     # ------------------------------------------------------------------
 
-    def on_submit(self, payload: dict) -> None:
+    def on_submit(self, message: ResultSubmit) -> None:
         """Handle a routed RESULT_SUBMIT delivered to this node."""
-        descriptor = QueryDescriptor.from_payload(payload["descriptor"])
-        vertex_id = payload["vertex_id"]
+        descriptor = message.descriptor
+        vertex_id = message.vertex_id
         if self.node.sim.now > descriptor.expires_at:
             return
         if not self.node.pastry.is_closest_to(vertex_id):
             # Stale routing: push it onward; the overlay will converge.
-            self.node.pastry.route(
-                vertex_id,
-                KIND_RESULT_SUBMIT,
-                payload,
-                64 + len(descriptor.sql),
-                category="query",
+            self.node.pastry.route_app(
+                vertex_id, dataclasses.replace(message, reroute=True)
             )
             return
         self._apply_submission(
             descriptor,
             vertex_id,
-            payload["contributor"],
-            payload["version"],
-            payload["result"],
+            message.contributor,
+            message.version,
+            message.result,
         )
         # Acknowledge to the submitting node (direct send by id).
-        ack = {
-            "query_id": descriptor.query_id,
-            "vertex_id": vertex_id,
-            "contributor": payload["contributor"],
-            "version": payload["version"],
-        }
-        self.node.send_app(payload["submitter"], KIND_RESULT_ACK, ack, 48)
+        self.node.send_app(
+            message.submitter,
+            ResultAck(
+                query_id=descriptor.query_id,
+                vertex_id=vertex_id,
+                contributor=message.contributor,
+                version=message.version,
+            ),
+        )
 
     def _apply_submission(
         self,
@@ -371,39 +371,38 @@ class ResultAggregator:
     def _replicate(self, descriptor: QueryDescriptor, state: VertexState) -> None:
         """Replicate vertex state to the m closest leafset members."""
         backups = self.node.pastry.replica_set(self.node.config.vertex_backups)
-        payload = {
-            "descriptor": descriptor.to_payload(),
-            "vertex_id": state.vertex_id,
-            "primary": self.node.node_id,
-            "up_version": state.up_version,
-            "children": {
+        repl = VertexRepl(
+            descriptor=descriptor,
+            vertex_id=state.vertex_id,
+            primary=self.node.node_id,
+            up_version=state.up_version,
+            children={
                 str(contributor): (version, result)
                 for contributor, (version, result) in state.children.items()
             },
-        }
-        size = state.wire_size() + len(descriptor.sql)
+        )
         for backup in backups:
-            self.node.send_app(backup, KIND_VERTEX_REPL, payload, size)
+            self.node.send_app(backup, repl)
 
-    def on_ack(self, payload: dict) -> None:
+    def on_ack(self, message: ResultAck) -> None:
         """Handle a RESULT_ACK: stop retransmitting that submission."""
-        key = (payload["query_id"], payload["vertex_id"], payload["contributor"])
+        key = (message.query_id, message.vertex_id, message.contributor)
         self._pending.pop(key, None)
 
-    def on_replicate(self, payload: dict) -> None:
+    def on_replicate(self, message: VertexRepl) -> None:
         """Handle a VERTEX_REPL: adopt as primary or store as backup.
 
         If we are now the node closest to the vertexId (e.g. the old
         primary is handing the group over after our join), we take over
         as primary; otherwise we hold the state as a backup for failover.
         """
-        descriptor = QueryDescriptor.from_payload(payload["descriptor"])
-        vertex_id = payload["vertex_id"]
+        descriptor = message.descriptor
+        vertex_id = message.vertex_id
         state = VertexState(descriptor.query_id, vertex_id)
-        state.up_version = payload.get("up_version", 0)
+        state.up_version = message.up_version
         state.children = {
             int(contributor): (version, result)
-            for contributor, (version, result) in payload["children"].items()
+            for contributor, (version, result) in message.children.items()
         }
         key = (descriptor.query_id, vertex_id)
         self.node.remember_query(descriptor)
@@ -418,11 +417,11 @@ class ResultAggregator:
             if changed:
                 self._after_state_change(descriptor, key)
             return
-        if self.node.pastry.is_closest_to(vertex_id) and payload["primary"] != self.node.node_id:
+        if self.node.pastry.is_closest_to(vertex_id) and message.primary != self.node.node_id:
             self._vertices[key] = state
             self._after_state_change(descriptor, key)
             return
-        self._backups[key] = (payload["primary"], state)
+        self._backups[key] = (message.primary, state)
 
     def _after_state_change(
         self, descriptor: QueryDescriptor, key: tuple[int, int]
@@ -466,22 +465,17 @@ class ResultAggregator:
             new_primary = self.node.pastry.leafset.closest(
                 state.vertex_id, include_owner=False
             )
-            payload = {
-                "descriptor": descriptor.to_payload(),
-                "vertex_id": state.vertex_id,
-                "primary": new_primary,
-                "up_version": state.up_version,
-                "children": {
+            handover = VertexRepl(
+                descriptor=descriptor,
+                vertex_id=state.vertex_id,
+                primary=new_primary,
+                up_version=state.up_version,
+                children={
                     str(contributor): (version, result)
                     for contributor, (version, result) in state.children.items()
                 },
-            }
-            self.node.send_app(
-                new_primary,
-                KIND_VERTEX_REPL,
-                payload,
-                state.wire_size() + len(descriptor.sql),
             )
+            self.node.send_app(new_primary, handover)
             # Demote ourselves to backup for the group.
             del self._vertices[key]
             self._backups[key] = (new_primary, state)

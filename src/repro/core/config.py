@@ -11,6 +11,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.core.views import ViewSpec
+from repro.net.transport import BatchingConfig
 from repro.overlay.network import OverlayConfig
 
 
@@ -19,6 +20,10 @@ class SeaweedConfig:
     """All tunables of a Seaweed deployment."""
 
     overlay: OverlayConfig = field(default_factory=OverlayConfig)
+
+    #: Transport-level destination batching/coalescing (off by default;
+    #: disabled runs are bit-identical to the pre-batching transport).
+    batching: BatchingConfig = field(default_factory=BatchingConfig)
 
     #: Metadata replication factor (k): replicas of each endsystem's
     #: availability model + data summary on its k closest neighbours.

@@ -33,15 +33,23 @@ from repro.overlay.ids import (
     wrapped_midpoint,
     wrapped_range_size,
 )
+from repro.proto.messages import (
+    Bcast,
+    BcastAck,
+    PredictorResult,
+    PredictorUpdate,
+    QueryInject,
+)
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.core.node import SeaweedNode
 
-KIND_QUERY_INJECT = "SW_QUERY_INJECT"
-KIND_BCAST = "SW_BCAST"
-KIND_BCAST_ACK = "SW_BCAST_ACK"
-KIND_PREDICTOR = "SW_PREDICTOR"
-KIND_PREDICTOR_RESULT = "SW_PREDICTOR_RESULT"
+# Wire tags, re-exported for compatibility; the message classes own them.
+KIND_QUERY_INJECT = QueryInject.KIND
+KIND_BCAST = Bcast.KIND
+KIND_BCAST_ACK = BcastAck.KIND
+KIND_PREDICTOR = PredictorUpdate.KIND
+KIND_PREDICTOR_RESULT = PredictorResult.KIND
 
 #: Give up re-dispatching a child subrange after this many attempts.
 MAX_CHILD_RETRIES = 3
@@ -101,18 +109,13 @@ class Disseminator:
     def inject(self, descriptor: QueryDescriptor) -> None:
         """Route the query to its root to start dissemination."""
         self.node.remember_query(descriptor)
-        payload = {"descriptor": descriptor.to_payload()}
-        self.node.pastry.route(
-            descriptor.query_id,
-            KIND_QUERY_INJECT,
-            payload,
-            descriptor.wire_size(),
-            category="query",
+        self.node.pastry.route_app(
+            descriptor.query_id, QueryInject(descriptor=descriptor)
         )
 
-    def on_inject(self, payload: dict) -> None:
+    def on_inject(self, message: QueryInject) -> None:
         """We are the root: broadcast over the full namespace."""
-        descriptor = QueryDescriptor.from_payload(payload["descriptor"])
+        descriptor = message.descriptor
         self.node.remember_query(descriptor)
         anchor = descriptor.query_id
         key = (descriptor.query_id, anchor, anchor)
@@ -137,10 +140,10 @@ class Disseminator:
     # Broadcast handling
     # ------------------------------------------------------------------
 
-    def on_broadcast(self, payload: dict) -> None:
+    def on_broadcast(self, message: Bcast) -> None:
         """Handle a BCAST for a namespace range."""
-        descriptor = QueryDescriptor.from_payload(payload["descriptor"])
-        lo, hi, parent = payload["lo"], payload["hi"], payload["parent"]
+        descriptor = message.descriptor
+        lo, hi, parent = message.lo, message.hi, message.parent
         self.node.remember_query(descriptor)
         self._ack(descriptor, lo, hi, parent)
         key = (descriptor.query_id, lo, hi)
@@ -305,20 +308,19 @@ class Disseminator:
                 self.node.sim.now, task.descriptor.query_id, self.node.node_id,
                 child.lo, child.hi, child.retries,
             )
-        payload = {
-            "descriptor": task.descriptor.to_payload(),
-            "lo": child.lo,
-            "hi": child.hi,
-            "parent": self.node.node_id,
-        }
-        size = task.descriptor.wire_size() + 40
+        bcast = Bcast(
+            descriptor=task.descriptor,
+            lo=child.lo,
+            hi=child.hi,
+            parent=self.node.node_id,
+        )
         if target is None and child.retries == 0:
             target = self._known_node_in(child.lo, child.hi)
         if target is not None:
-            self.node.send_app(target, KIND_BCAST, payload, size)
+            self.node.send_app(target, bcast)
         else:
             midpoint = wrapped_midpoint(child.lo, child.hi)
-            self.node.pastry.route(midpoint, KIND_BCAST, payload, size, category="query")
+            self.node.pastry.route_app(midpoint, bcast)
 
     def _known_node_in(self, lo: int, hi: int) -> Optional[int]:
         """A live-believed node inside the range, from local routing state.
@@ -389,28 +391,29 @@ class Disseminator:
     ) -> None:
         if parent is None or parent == self.node.node_id:
             return
-        payload = {"query_id": descriptor.query_id, "lo": lo, "hi": hi}
-        self.node.send_app(parent, KIND_BCAST_ACK, payload, 56)
+        self.node.send_app(
+            parent, BcastAck(query_id=descriptor.query_id, lo=lo, hi=hi)
+        )
 
-    def on_ack(self, payload: dict) -> None:
+    def on_ack(self, message: BcastAck) -> None:
         """A child acknowledged / heartbeat: reset its liveness clock."""
         for task in self._tasks.values():
-            if task.descriptor.query_id != payload["query_id"]:
+            if task.descriptor.query_id != message.query_id:
                 continue
-            child = task.children.get((payload["lo"], payload["hi"]))
+            child = task.children.get((message.lo, message.hi))
             if child is not None:
                 child.last_heard = self.node.sim.now
                 child.acked = True
 
-    def on_predictor(self, payload: dict) -> None:
+    def on_predictor(self, message: PredictorUpdate) -> None:
         """A child subtree finished: record its predictor."""
         for task in list(self._tasks.values()):
-            if task.descriptor.query_id != payload["query_id"]:
+            if task.descriptor.query_id != message.query_id:
                 continue
-            child = task.children.get((payload["lo"], payload["hi"]))
+            child = task.children.get((message.lo, message.hi))
             if child is not None and not child.done:
                 child.done = True
-                child.predictor = payload["predictor"]
+                child.predictor = message.predictor
                 child.last_heard = self.node.sim.now
                 self._maybe_finish(task)
 
@@ -433,26 +436,23 @@ class Disseminator:
             # We are the root: hand the aggregated predictor to the query
             # layer and push it to the originator.
             self.node.on_predictor_ready(task.descriptor, task.merged)
-            payload = {
-                "query_id": task.descriptor.query_id,
-                "predictor": task.merged,
-            }
             if task.descriptor.origin != self.node.node_id:
                 self.node.send_app(
                     task.descriptor.origin,
-                    KIND_PREDICTOR_RESULT,
-                    payload,
-                    task.merged.wire_size() + 24,
+                    PredictorResult(
+                        query_id=task.descriptor.query_id,
+                        predictor=task.merged,
+                    ),
                 )
             return
-        payload = {
-            "query_id": task.descriptor.query_id,
-            "lo": task.lo,
-            "hi": task.hi,
-            "predictor": task.merged,
-        }
         self.node.send_app(
-            task.parent, KIND_PREDICTOR, payload, task.merged.wire_size() + 56
+            task.parent,
+            PredictorUpdate(
+                query_id=task.descriptor.query_id,
+                lo=task.lo,
+                hi=task.hi,
+                predictor=task.merged,
+            ),
         )
 
     def _arm_timers(self, task: BroadcastTask) -> None:

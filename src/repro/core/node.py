@@ -27,37 +27,42 @@ import numpy as np
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.obs.observer import Observer
 
-from repro.core.aggregation import (
-    KIND_RESULT_ACK,
-    KIND_RESULT_SUBMIT,
-    KIND_VERTEX_REPL,
-    ResultAggregator,
-)
+from repro.core.aggregation import ResultAggregator
 from repro.core.availability_model import AvailabilityModel
 from repro.core.config import SeaweedConfig
-from repro.core.dissemination import (
-    KIND_BCAST,
-    KIND_BCAST_ACK,
-    KIND_PREDICTOR,
-    KIND_PREDICTOR_RESULT,
-    KIND_QUERY_INJECT,
-    Disseminator,
-)
+from repro.core.dissemination import Disseminator
 from repro.core.metadata import EndsystemMetadata, MetadataStore
 from repro.core.predictor import CompletenessPredictor
 from repro.core.query import QueryDescriptor, QueryStatus
 from repro.db.engine import LocalDatabase
 from repro.db.executor import QueryResult
 from repro.db.sql import ParsedQuery
-from repro.net.stats import CATEGORY_MAINTENANCE
 from repro.overlay.ids import ring_distance
 from repro.overlay.node import PastryNode
+from repro.proto.messages import (
+    ActiveReq,
+    ActiveResp,
+    Bcast,
+    BcastAck,
+    Cancel,
+    MetaPush,
+    PredictorResult,
+    PredictorUpdate,
+    ProtoMessage,
+    QueryInject,
+    ResultAck,
+    ResultSubmit,
+    StatusPush,
+    VertexRepl,
+)
+from repro.proto.registry import Dispatcher
 
-KIND_META_PUSH = "SW_META_PUSH"
-KIND_ACTIVE_REQ = "SW_ACTIVE_REQ"
-KIND_ACTIVE_RESP = "SW_ACTIVE_RESP"
-KIND_STATUS = "SW_STATUS"
-KIND_CANCEL = "SW_CANCEL"
+# Wire tags, re-exported for compatibility; the message classes own them.
+KIND_META_PUSH = MetaPush.KIND
+KIND_ACTIVE_REQ = ActiveReq.KIND
+KIND_ACTIVE_RESP = ActiveResp.KIND
+KIND_STATUS = StatusPush.KIND
+KIND_CANCEL = Cancel.KIND
 
 #: Settling delay between overlay join and Seaweed-level (re)announcements.
 JOIN_SETTLE_DELAY = 1.5
@@ -104,6 +109,20 @@ class SeaweedNode:
         self._metadata_version = 0
         self._last_down_at: Optional[float] = None
         self._last_replica_set: list[int] = []
+        self._dispatch = Dispatcher(on_unknown=self._on_unknown_kind)
+        self._dispatch.on(QueryInject, self.disseminator.on_inject)
+        self._dispatch.on(Bcast, self.disseminator.on_broadcast)
+        self._dispatch.on(BcastAck, self.disseminator.on_ack)
+        self._dispatch.on(PredictorUpdate, self.disseminator.on_predictor)
+        self._dispatch.on(PredictorResult, self._handle_predictor_result)
+        self._dispatch.on(ResultSubmit, self.aggregator.on_submit)
+        self._dispatch.on(ResultAck, self.aggregator.on_ack)
+        self._dispatch.on(VertexRepl, self.aggregator.on_replicate)
+        self._dispatch.on(MetaPush, self._handle_meta_push)
+        self._dispatch.on(ActiveReq, self._handle_active_req)
+        self._dispatch.on(ActiveResp, self._handle_active_resp)
+        self._dispatch.on(StatusPush, self._handle_status)
+        self._dispatch.on(Cancel, self._handle_cancel)
         pastry.set_deliver(self._deliver)
         pastry.set_neighbour_change(self._on_leafset_change)
         pastry.set_neighbour_failed(self._on_neighbour_failed)
@@ -214,22 +233,22 @@ class SeaweedNode:
         self._last_replica_set = replicas
         if self._obs is not None:
             self._obs.metadata_push(self.sim.now, self.node_id, len(replicas))
-        payload = {"metadata": metadata, "owner_online": True}
         generation = self.database.generation
         for replica in replicas:
-            size = metadata.wire_size()
+            beacon_bytes = None
             if (
                 self.config.delta_summaries
                 and self._pushed_generation.get(replica) == generation
             ):
-                size = self.config.delta_beacon_bytes
+                beacon_bytes = self.config.delta_beacon_bytes
             self._pushed_generation[replica] = generation
             self.send_app(
                 replica,
-                KIND_META_PUSH,
-                payload,
-                size,
-                category=CATEGORY_MAINTENANCE,
+                MetaPush(
+                    metadata=metadata,
+                    owner_online=True,
+                    beacon_bytes=beacon_bytes,
+                ),
             )
 
     def _periodic_push(self) -> None:
@@ -258,30 +277,25 @@ class SeaweedNode:
                 self.pastry.leafset.members,
                 key=lambda member: ring_distance(member, owner),
             )[: self.config.metadata_replicas]
-            payload = {"metadata": record.metadata, "owner_online": False,
-                       "down_since": record.down_since}
+            push = MetaPush(
+                metadata=record.metadata,
+                owner_online=False,
+                down_since=record.down_since,
+            )
             for candidate in candidates:
-                self.send_app(
-                    candidate,
-                    KIND_META_PUSH,
-                    payload,
-                    record.metadata.wire_size(),
-                    category=CATEGORY_MAINTENANCE,
-                )
+                self.send_app(candidate, push)
 
-    def _handle_meta_push(self, payload: dict) -> None:
-        metadata: EndsystemMetadata = payload["metadata"]
+    def _handle_meta_push(self, message: MetaPush) -> None:
+        metadata = message.metadata
         stored = self.metadata_store.store(
-            metadata, self.sim.now, owner_online=payload.get("owner_online", True)
+            metadata, self.sim.now, owner_online=message.owner_online
         )
         if not stored:
             return
-        if payload.get("owner_online", True):
+        if message.owner_online:
             self.metadata_store.mark_up(metadata.owner)
-        else:
-            down_since = payload.get("down_since")
-            if down_since is not None:
-                self.metadata_store.mark_down(metadata.owner, down_since)
+        elif message.down_since is not None:
+            self.metadata_store.mark_down(metadata.owner, message.down_since)
 
     # ------------------------------------------------------------------
     # Active query distribution
@@ -292,26 +306,25 @@ class SeaweedNode:
         if not members:
             return
         target = members[int(self._rng.integers(0, len(members)))]
-        self.send_app(target, KIND_ACTIVE_REQ, self.node_id, 16)
+        self.send_app(target, ActiveReq(requester=self.node_id))
 
-    def _handle_active_req(self, requester: int) -> None:
+    def _handle_active_req(self, message: ActiveReq) -> None:
         now = self.sim.now
         active = [
-            descriptor.to_payload()
+            descriptor
             for descriptor in self.known_queries.values()
             if now <= descriptor.expires_at
             and descriptor.query_id not in self.cancelled_queries
         ]
-        payload = {"active": active, "cancelled": list(self.cancelled_queries)}
-        size = 16 + sum(len(item["sql"]) + 48 for item in active)
-        size += 16 * len(self.cancelled_queries)
-        self.send_app(requester, KIND_ACTIVE_RESP, payload, size)
+        self.send_app(
+            message.requester,
+            ActiveResp(active=active, cancelled=list(self.cancelled_queries)),
+        )
 
-    def _handle_active_resp(self, payload: dict) -> None:
-        for query_id in payload.get("cancelled", ()):  # tombstones first
+    def _handle_active_resp(self, message: ActiveResp) -> None:
+        for query_id in message.cancelled:  # tombstones first
             self.cancel_query(query_id)
-        for item in payload["active"]:
-            descriptor = QueryDescriptor.from_payload(item)
+        for descriptor in message.active:
             if descriptor.query_id in self.cancelled_queries:
                 continue
             self.remember_query(descriptor)
@@ -402,10 +415,10 @@ class SeaweedNode:
         self.disseminator.expire_query(query_id)
         if self.pastry.online:
             for member in self.pastry.leafset.members:
-                self.send_app(member, KIND_CANCEL, query_id, 24)
+                self.send_app(member, Cancel(query_id=query_id))
 
-    def _handle_cancel(self, query_id: int) -> None:
-        self.cancel_query(query_id)
+    def _handle_cancel(self, message: Cancel) -> None:
+        self.cancel_query(message.query_id)
 
     def is_cancelled(self, query_id: int) -> bool:
         """Whether a cancellation tombstone exists for ``query_id``."""
@@ -533,33 +546,33 @@ class SeaweedNode:
         status.result = merged
         status.record(self.sim.now)
         if descriptor.origin != self.node_id:
-            payload = {
-                "query_id": descriptor.query_id,
-                "result": merged,
-                "time": self.sim.now,
-            }
             self.send_app(
-                descriptor.origin, KIND_STATUS, payload, merged.wire_size() + 24
+                descriptor.origin,
+                StatusPush(
+                    query_id=descriptor.query_id,
+                    result=merged,
+                    time=self.sim.now,
+                ),
             )
 
-    def _handle_status(self, payload: dict) -> None:
-        descriptor = self.known_queries.get(payload["query_id"])
+    def _handle_status(self, message: StatusPush) -> None:
+        descriptor = self.known_queries.get(message.query_id)
         if descriptor is None:
             return
         status = self.query_statuses.setdefault(
             descriptor.query_id, QueryStatus(descriptor)
         )
-        status.result = payload["result"]
+        status.result = message.result
         status.record(self.sim.now)
 
-    def _handle_predictor_result(self, payload: dict) -> None:
-        descriptor = self.known_queries.get(payload["query_id"])
+    def _handle_predictor_result(self, message: PredictorResult) -> None:
+        descriptor = self.known_queries.get(message.query_id)
         if descriptor is None:
             return
         status = self.query_statuses.setdefault(
             descriptor.query_id, QueryStatus(descriptor)
         )
-        incoming = payload["predictor"]
+        incoming = message.predictor
         if status.predictor is None or incoming.endsystems >= status.predictor.endsystems:
             status.predictor = incoming
             if status.predictor_ready_at is None:
@@ -577,32 +590,20 @@ class SeaweedNode:
     def send_app(
         self,
         dst_id: int,
-        kind: str,
-        payload: Any,
-        size: int,
-        category: str = "query",
+        app: ProtoMessage,
+        category: Optional[str] = None,
     ) -> None:
-        """Single-hop application message to a known node id."""
-        self.pastry.send_direct(dst_id, kind, payload, size, category=category)
+        """Single-hop typed application message to a known node id.
+
+        ``category`` defaults to the message class's accounting category.
+        """
+        self.pastry.send_direct_app(dst_id, app, category)
 
     def _deliver(self, key: int, kind: str, payload: Any, hops: int) -> None:
-        handler = {
-            KIND_QUERY_INJECT: self.disseminator.on_inject,
-            KIND_BCAST: self.disseminator.on_broadcast,
-            KIND_BCAST_ACK: self.disseminator.on_ack,
-            KIND_PREDICTOR: self.disseminator.on_predictor,
-            KIND_PREDICTOR_RESULT: self._handle_predictor_result,
-            KIND_RESULT_SUBMIT: self.aggregator.on_submit,
-            KIND_RESULT_ACK: self.aggregator.on_ack,
-            KIND_VERTEX_REPL: self.aggregator.on_replicate,
-            KIND_META_PUSH: self._handle_meta_push,
-            KIND_ACTIVE_REQ: self._handle_active_req,
-            KIND_ACTIVE_RESP: self._handle_active_resp,
-            KIND_STATUS: self._handle_status,
-            KIND_CANCEL: self._handle_cancel,
-        }.get(kind)
-        if handler is not None:
-            handler(payload)
+        self._dispatch.dispatch(kind, payload)
+
+    def _on_unknown_kind(self, kind: str, _payload: Any) -> None:
+        self.pastry.network.transport.count_unknown_kind(self.pastry.name, kind)
 
     def _on_leafset_change(self) -> None:
         """New neighbours may mean a new replica set: refresh pushes."""

@@ -105,6 +105,7 @@ class SeaweedSystem:
             loss_rate=loss_rate,
             loss_rng=self.streams.get("loss") if loss_rate > 0 else None,
             observer=observer,
+            batching=self.config.batching,
         )
         self.overlay = OverlayNetwork(
             self.sim,
@@ -344,7 +345,14 @@ class SeaweedSystem:
                 "dropped_offline": self.transport.dropped_offline,
                 "dropped_loss": self.transport.dropped_loss,
                 "dropped_unregistered": self.transport.dropped_unregistered,
+                "dropped_unknown_kind": self.transport.dropped_unknown_kind,
                 "drops_by_reason": dict(self.transport.drops_by_reason),
+            },
+            "batching": {
+                "enabled": self.transport.batching is not None,
+                "batches_flushed": self.transport.batches_flushed,
+                "coalesced_messages": self.transport.coalesced_messages,
+                "header_bytes_saved": self.transport.header_bytes_saved,
             },
             "overlay": {
                 "routing_drops": self.overlay.routing_drops,

@@ -16,22 +16,40 @@ Implements the MSPastry behaviours Seaweed relies on:
 The application above (Seaweed) registers a deliver upcall and may also
 send single-hop messages directly to known nodes (e.g. replica-set
 members), exactly as the paper's metadata push does.
+
+All overlay wire traffic is typed (:mod:`repro.proto.messages`) and
+dispatched through a registry-driven :class:`repro.proto.registry.
+Dispatcher`; unknown kinds are counted by the transport instead of being
+silently ignored.
 """
 
 from __future__ import annotations
 
+import dataclasses
 from typing import TYPE_CHECKING, Any, Callable, Optional
 
 from repro.net.transport import Message
 from repro.overlay.ids import hex_to_id, id_to_hex, ring_distance
 from repro.overlay.leafset import Leafset
 from repro.overlay.routing_table import RoutingTable
+from repro.proto import codec
+from repro.proto.messages import (
+    JoinReply,
+    JoinRequest,
+    LeafsetAnnounce,
+    LeafsetProbe,
+    LeafsetState,
+    ProtoMessage,
+    RouteAck,
+    RouteEnvelope,
+)
+from repro.proto.registry import Dispatcher
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.overlay.network import OverlayNetwork
 
 #: Approximate serialized size of one node id on the wire.
-ID_BYTES = 16
+ID_BYTES = codec.ID
 #: Timeout before a forwarded hop is declared dead and rerouted.
 HOP_ACK_TIMEOUT = 0.5
 #: Maximum hop count before a routed message is dropped (loop guard).
@@ -40,13 +58,14 @@ MAX_HOPS = 64
 JOIN_RETRY_TIMEOUT = 4.0
 MAX_JOIN_RETRIES = 5
 
-KIND_ROUTE = "P_ROUTE"
-KIND_ROUTE_ACK = "P_ROUTE_ACK"
-KIND_JOIN_REQ = "P_JOIN_REQ"
-KIND_JOIN_REPLY = "P_JOIN_REPLY"
-KIND_LEAFSET_ANNOUNCE = "P_LS_ANNOUNCE"
-KIND_LEAFSET_STATE = "P_LS_STATE"
-KIND_LEAFSET_PROBE = "P_LS_PROBE"
+# Wire tags, re-exported for compatibility; the message classes own them.
+KIND_ROUTE = RouteEnvelope.KIND
+KIND_ROUTE_ACK = RouteAck.KIND
+KIND_JOIN_REQ = JoinRequest.KIND
+KIND_JOIN_REPLY = JoinReply.KIND
+KIND_LEAFSET_ANNOUNCE = LeafsetAnnounce.KIND
+KIND_LEAFSET_STATE = LeafsetState.KIND
+KIND_LEAFSET_PROBE = LeafsetProbe.KIND
 
 DeliverUpcall = Callable[[int, str, Any, int], None]
 
@@ -71,6 +90,14 @@ class PastryNode:
         # Death records: {node_id: observation time}.  Entries suppress
         # gossip-driven resurrection of dead peers for a TTL.
         self._death_records: dict[int, float] = {}
+        self._dispatch = Dispatcher(on_unknown=self._on_unknown_kind)
+        self._dispatch.on(RouteEnvelope, self._handle_route)
+        self._dispatch.on(RouteAck, self._handle_route_ack)
+        self._dispatch.on(JoinRequest, self._handle_join_req)
+        self._dispatch.on(JoinReply, self._handle_join_reply)
+        self._dispatch.on(LeafsetAnnounce, self._handle_leafset_announce)
+        self._dispatch.on(LeafsetState, self._handle_leafset_state)
+        self._dispatch.on(LeafsetProbe, self._handle_leafset_probe)
         network.transport.register(self.name, self._on_message)
 
     # ------------------------------------------------------------------
@@ -98,17 +125,28 @@ class PastryNode:
         category: str = "query",
     ) -> None:
         """Route an application message to the live node closest to ``key``."""
-        envelope = {
-            "key": key,
-            "app_kind": kind,
-            "app_payload": payload,
-            "app_size": size,
-            "hops": 0,
-            "origin": self.node_id,
-        }
+        envelope = RouteEnvelope(
+            key=key,
+            app_kind=kind,
+            app_payload=payload,
+            app_size=size,
+            hops=0,
+            origin=self.node_id,
+        )
         # Defer even the first hop so that a route that terminates locally
         # never re-enters the caller synchronously.
         self.network.sim.schedule(0.0, self._route_envelope, envelope, category)
+
+    def route_app(
+        self, key: int, app: ProtoMessage, category: Optional[str] = None
+    ) -> None:
+        """Route a typed application message; its size comes from the codec.
+
+        ``category`` defaults to the message class's accounting category.
+        """
+        if category is None:
+            category = app.CATEGORY
+        self.route(key, app.KIND, app, app.body_size(), category)
 
     def send_direct(
         self,
@@ -132,21 +170,29 @@ class PastryNode:
                     0.0, self._deliver_upcall, dst_id, kind, payload, 0
                 )
             return
-        message = Message(
-            kind=KIND_ROUTE,
-            payload={
-                "key": dst_id,
-                "app_kind": kind,
-                "app_payload": payload,
-                "app_size": size,
-                "hops": 0,
-                "origin": self.node_id,
-                "direct": True,
-            },
-            size=size + ID_BYTES,
-            category=category,
+        envelope = RouteEnvelope(
+            key=dst_id,
+            app_kind=kind,
+            app_payload=payload,
+            app_size=size,
+            hops=0,
+            origin=self.node_id,
+            direct=True,
         )
-        self.network.transport.send(self.name, id_to_hex(dst_id), message)
+        self.network.transport.send(
+            self.name, id_to_hex(dst_id), Message.of(envelope, category)
+        )
+
+    def send_direct_app(
+        self, dst_id: int, app: ProtoMessage, category: Optional[str] = None
+    ) -> None:
+        """Single-hop send of a typed application message.
+
+        ``category`` defaults to the message class's accounting category.
+        """
+        if category is None:
+            category = app.CATEGORY
+        self.send_direct(dst_id, app.KIND, app, app.body_size(), category)
 
     def replica_set(self, k: int) -> list[int]:
         """The ``k`` leafset members numerically closest to this node's id.
@@ -192,13 +238,10 @@ class PastryNode:
 
     def _send_join(self, bootstrap: "PastryNode") -> None:
         self.routing_table.add(bootstrap.node_id)
-        message = Message(
-            kind=KIND_JOIN_REQ,
-            payload={"joiner": self.node_id, "path": []},
-            size=2 * ID_BYTES,
-            category="overlay",
+        request = JoinRequest(joiner=self.node_id, path=[])
+        self.network.transport.send(
+            self.name, bootstrap.name, Message.of(request)
         )
-        self.network.transport.send(self.name, bootstrap.name, message)
 
     def _check_join(self, attempt: int) -> None:
         """Retry the join until a JOIN_REPLY populates the leafset.
@@ -242,10 +285,9 @@ class PastryNode:
         targets = {self.leafset.neighbour_cw(), self.leafset.neighbour_ccw()}
         targets.discard(None)
         for target in targets:
-            probe = Message(
-                kind=KIND_LEAFSET_PROBE, payload=None, size=0, category="overlay"
+            self.network.transport.send(
+                self.name, id_to_hex(target), Message.of(LeafsetProbe())
             )
-            self.network.transport.send(self.name, id_to_hex(target), probe)
 
     # ------------------------------------------------------------------
     # Death records
@@ -277,9 +319,9 @@ class PastryNode:
     # Routing internals
     # ------------------------------------------------------------------
 
-    def _route_envelope(self, envelope: dict, category: str) -> None:
-        key = envelope["key"]
-        hops = envelope["hops"]
+    def _route_envelope(self, envelope: RouteEnvelope, category: str) -> None:
+        key = envelope.key
+        hops = envelope.hops
         if hops >= MAX_HOPS:
             self.network.routing_drops += 1
             if self.network.c_routing_drops is not None:
@@ -289,14 +331,8 @@ class PastryNode:
         if next_hop is None or next_hop == self.node_id:
             self._deliver(envelope)
             return
-        envelope = dict(envelope)
-        envelope["hops"] = hops + 1
-        message = Message(
-            kind=KIND_ROUTE,
-            payload=envelope,
-            size=envelope["app_size"] + 2 * ID_BYTES,
-            category=category,
-        )
+        envelope = dataclasses.replace(envelope, hops=hops + 1)
+        message = Message.of(envelope, category)
         self._forward_with_ack(next_hop, message, envelope, category)
 
     def _next_hop(self, key: int) -> Optional[int]:
@@ -324,7 +360,11 @@ class PastryNode:
         return best
 
     def _forward_with_ack(
-        self, next_hop: int, message: Message, envelope: dict, category: str
+        self,
+        next_hop: int,
+        message: Message,
+        envelope: RouteEnvelope,
+        category: str,
     ) -> None:
         msg_id = self._next_msg_id
         self._next_msg_id += 1
@@ -337,7 +377,7 @@ class PastryNode:
         self._pending_acks.add(msg_id)
 
     def _on_ack_timeout(
-        self, next_hop: int, msg_id: int, envelope: dict, category: str
+        self, next_hop: int, msg_id: int, envelope: RouteEnvelope, category: str
     ) -> None:
         if msg_id not in self._pending_acks:
             return  # acked in time
@@ -352,19 +392,18 @@ class PastryNode:
         self.network.reroutes += 1
         if self.network.c_reroutes is not None:
             self.network.c_reroutes.inc()
-        envelope = dict(envelope)
-        envelope["hops"] = max(0, envelope["hops"] - 1)
+        envelope = dataclasses.replace(envelope, hops=max(0, envelope.hops - 1))
         self._route_envelope(envelope, category)
 
-    def _deliver(self, envelope: dict) -> None:
-        self.routing_table.add(envelope["origin"])
+    def _deliver(self, envelope: RouteEnvelope) -> None:
+        self.routing_table.add(envelope.origin)
         if self._deliver_upcall is None:
             return
         self._deliver_upcall(
-            envelope["key"],
-            envelope["app_kind"],
-            envelope["app_payload"],
-            envelope["hops"],
+            envelope.key,
+            envelope.app_kind,
+            envelope.app_payload,
+            envelope.hops,
         )
 
     # ------------------------------------------------------------------
@@ -376,40 +415,28 @@ class PastryNode:
             return
         if message.src:
             self.note_alive(hex_to_id(message.src))
-        handler = {
-            KIND_ROUTE: self._handle_route,
-            KIND_ROUTE_ACK: self._handle_route_ack,
-            KIND_JOIN_REQ: self._handle_join_req,
-            KIND_JOIN_REPLY: self._handle_join_reply,
-            KIND_LEAFSET_ANNOUNCE: self._handle_leafset_announce,
-            KIND_LEAFSET_STATE: self._handle_leafset_state,
-            KIND_LEAFSET_PROBE: self._handle_leafset_probe,
-        }.get(message.kind)
-        if handler is not None:
-            handler(message)
+        self._dispatch.dispatch(message.kind, message)
+
+    def _on_unknown_kind(self, kind: str, _message: Message) -> None:
+        self.network.transport.count_unknown_kind(self.name, kind)
 
     def _handle_route(self, message: Message) -> None:
-        envelope = message.payload
+        envelope: RouteEnvelope = message.payload
         if message.meta.get("needs_ack"):
-            ack = Message(
-                kind=KIND_ROUTE_ACK,
-                payload=message.meta["msg_id"],
-                size=0,
-                category=message.category,
-            )
+            ack = Message.of(RouteAck(msg_id=message.meta["msg_id"]), message.category)
             self.network.transport.send(self.name, message.src, ack)
-        self.routing_table.add(envelope["origin"])
-        if envelope.get("direct"):
+        self.routing_table.add(envelope.origin)
+        if envelope.direct:
             self._deliver(envelope)
         else:
             self._route_envelope(envelope, message.category)
 
     def _handle_route_ack(self, message: Message) -> None:
-        self._pending_acks.discard(message.payload)
+        self._pending_acks.discard(message.payload.msg_id)
 
     def _handle_join_req(self, message: Message) -> None:
-        payload = message.payload
-        joiner = payload["joiner"]
+        request: JoinRequest = message.payload
+        joiner = request.joiner
         # Route *before* learning the joiner, and never forward the join
         # request to the joiner itself — we must find the node that is
         # closest among the existing members.
@@ -417,66 +444,54 @@ class PastryNode:
         self.routing_table.add(joiner)
         if next_hop is None or next_hop in (self.node_id, joiner):
             # We are the closest live node: reply with our full state.
-            state = {
-                "leafset": self.leafset.members + [self.node_id],
-                "routing": self.routing_table.entries(),
-                "path": payload["path"],
-            }
-            size = ID_BYTES * (len(state["leafset"]) + len(state["routing"]) + 1)
-            reply = Message(
-                kind=KIND_JOIN_REPLY, payload=state, size=size, category="overlay"
+            reply = JoinReply(
+                leafset=self.leafset.members + [self.node_id],
+                routing=self.routing_table.entries(),
+                path=request.path,
             )
-            self.network.transport.send(self.name, id_to_hex(joiner), reply)
+            self.network.transport.send(
+                self.name, id_to_hex(joiner), Message.of(reply)
+            )
             return
-        forwarded = Message(
-            kind=KIND_JOIN_REQ,
-            payload={"joiner": joiner, "path": payload["path"] + [self.node_id]},
-            size=ID_BYTES * (2 + len(payload["path"]) + 1),
-            category="overlay",
+        forwarded = JoinRequest(joiner=joiner, path=request.path + [self.node_id])
+        self.network.transport.send(
+            self.name, id_to_hex(next_hop), Message.of(forwarded)
         )
-        self.network.transport.send(self.name, id_to_hex(next_hop), forwarded)
 
     def _handle_join_reply(self, message: Message) -> None:
         self._joined = True
-        state = message.payload
-        for node_id in self._live_only(state["path"]):
+        state: JoinReply = message.payload
+        for node_id in self._live_only(state.path):
             self.routing_table.add(node_id)
-        for node_id in self._live_only(state["routing"]):
+        for node_id in self._live_only(state.routing):
             self.routing_table.add(node_id)
-        live_members = self._live_only(state["leafset"])
+        live_members = self._live_only(state.leafset)
         changed = self.leafset.merge(live_members)
         for node_id in live_members:
             self.routing_table.add(node_id)
         # Announce ourselves to our leafset so they add us symmetrically.
         for member in self.leafset.members:
-            announce = Message(
-                kind=KIND_LEAFSET_ANNOUNCE,
-                payload=self.node_id,
-                size=ID_BYTES,
-                category="overlay",
+            self.network.transport.send(
+                self.name,
+                id_to_hex(member),
+                Message.of(LeafsetAnnounce(joiner=self.node_id)),
             )
-            self.network.transport.send(self.name, id_to_hex(member), announce)
         if changed:
             self._notify_neighbour_change()
 
     def _handle_leafset_announce(self, message: Message) -> None:
-        joiner = message.payload
+        joiner = message.payload.joiner
         self.routing_table.add(joiner)
         changed = self.leafset.add(joiner)
         # Reply with our leafset so the joiner can refine its own.
-        members = self.leafset.members + [self.node_id]
-        reply = Message(
-            kind=KIND_LEAFSET_STATE,
-            payload=members,
-            size=ID_BYTES * len(members),
-            category="overlay",
-        )
-        self.network.transport.send(self.name, message.src, reply)
+        reply = LeafsetState(members=self.leafset.members + [self.node_id])
+        self.network.transport.send(self.name, message.src, Message.of(reply))
         if changed:
             self._notify_neighbour_change()
 
     def _handle_leafset_state(self, message: Message) -> None:
-        members = self._live_only(m for m in message.payload if m != self.node_id)
+        state: LeafsetState = message.payload
+        members = self._live_only(m for m in state.members if m != self.node_id)
         changed = self.leafset.merge(members)
         for member in members:
             self.routing_table.add(member)
@@ -488,14 +503,8 @@ class PastryNode:
         if self.leafset.add(prober):
             self._notify_neighbour_change()
         self.routing_table.add(prober)
-        members = self.leafset.members + [self.node_id]
-        reply = Message(
-            kind=KIND_LEAFSET_STATE,
-            payload=members,
-            size=ID_BYTES * len(members),
-            category="overlay",
-        )
-        self.network.transport.send(self.name, message.src, reply)
+        reply = LeafsetState(members=self.leafset.members + [self.node_id])
+        self.network.transport.send(self.name, message.src, Message.of(reply))
 
     # ------------------------------------------------------------------
     # Failure handling
@@ -520,10 +529,9 @@ class PastryNode:
     def _repair_leafset(self) -> None:
         """Ask the surviving leafset extremes for their members."""
         for extreme in self.leafset.extremes():
-            probe = Message(
-                kind=KIND_LEAFSET_PROBE, payload=None, size=0, category="overlay"
+            self.network.transport.send(
+                self.name, id_to_hex(extreme), Message.of(LeafsetProbe())
             )
-            self.network.transport.send(self.name, id_to_hex(extreme), probe)
 
     def _notify_neighbour_change(self) -> None:
         self.network.on_leafset_change(self)

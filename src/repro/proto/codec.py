@@ -1,0 +1,103 @@
+"""Deterministic wire codec: size arithmetic for protocol messages.
+
+The simulator never serializes payloads to real bytes — messages travel
+as Python objects — but every byte that *would* be on the wire must be
+accounted, because the paper's headline overhead numbers (Fig. 9,
+Table 1) are byte budgets.  This module is the single source of truth
+for that arithmetic: named field-size primitives, helpers for composite
+fields, and the fixed framing constants shared by every message.
+
+Each :class:`~repro.proto.messages.ProtoMessage` subclass implements
+``body_size()`` in terms of these primitives, so a message's wire size
+is *computed from its fields* instead of hand-maintained at call sites.
+The formulas intentionally reproduce the seed tree's accounting exactly
+(see ``tests/proto/test_wire_sizes.py`` for the audit), so a run with
+batching disabled is bit-identical to the pre-codec tree.
+
+Glossary of primitives (all sizes in bytes):
+
+===============  ====  =====================================================
+``ID``             16  one 128-bit overlay id / namespace key
+``TAG``             8  small scalar: version, count, flag word, timestamp
+``RANGE``          32  a wrapped namespace range ``[lo, hi)`` (two ids)
+``QUERY_FIXED``    48  fixed part of a query descriptor (id, origin,
+                       times, lifetime) — the SQL text rides on top
+``AGG_STATE``      32  one serialized aggregate state (func tag + values)
+``ROW``            32  one result row in a replication payload
+===============  ====  =====================================================
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Iterable
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.query import QueryDescriptor
+
+#: Serialized size of one 128-bit overlay id / namespace key.
+ID = 16
+
+#: Small scalar field: a version, count, flag word, or timestamp.
+TAG = 8
+
+#: A wrapped namespace range ``[lo, hi)``: two ids.
+RANGE = 2 * ID
+
+#: Fixed part of a serialized query descriptor: queryId + origin id +
+#: injected-at / lifetime / NOW-binding scalars.  The SQL text length is
+#: added per descriptor.
+QUERY_FIXED = 48
+
+#: One serialized aggregate state inside a result payload: the function
+#: tag plus its accumulator values.
+AGG_STATE = 32
+
+#: One materialized result row inside a vertex-replication payload.
+ROW = 32
+
+#: Fixed per-message wire header (UDP/IP + overlay header).  Kept equal
+#: to :data:`repro.net.transport.MESSAGE_HEADER_BYTES`; the transport
+#: asserts the two agree at import time.
+HEADER = 48
+
+#: Per-message sub-header inside a destination batch: a kind tag and a
+#: length.  Messages coalesced into an existing batch pay this instead
+#: of the full :data:`HEADER`.
+BATCH_SUBHEADER = 4
+
+
+def ids(count: int) -> int:
+    """Size of ``count`` serialized overlay ids."""
+    return ID * count
+
+
+def descriptor_size(descriptor: "QueryDescriptor") -> int:
+    """Serialized size of one query descriptor (fixed part + SQL text)."""
+    return QUERY_FIXED + len(descriptor.sql)
+
+
+def result_states_size(result_payload: dict) -> int:
+    """Size of the aggregate-state vector in a serialized query result."""
+    return AGG_STATE * len(result_payload["states"])
+
+
+def vertex_children_size(children: Iterable[tuple[int, dict]]) -> int:
+    """Size of a vertex's replicated child-result table.
+
+    ``children`` iterates ``(version, result payload)`` pairs; each entry
+    costs a keyed header (contributor id) plus its states and rows.
+    """
+    total = 0
+    for _version, payload in children:
+        total += ID + result_states_size(payload) + ROW * len(payload["rows"])
+    return total
+
+
+def batch_framing(coalesced: bool) -> int:
+    """Framing bytes one message pays on the wire.
+
+    The first message of a batch (or any unbatched message) carries the
+    full fixed header; every message coalesced into an open batch pays
+    only the small sub-header.
+    """
+    return BATCH_SUBHEADER if coalesced else HEADER

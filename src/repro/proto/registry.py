@@ -1,0 +1,108 @@
+"""The protocol registry and the unified dispatch table.
+
+Every message class in :mod:`repro.proto.messages` registers itself here
+under its ``KIND`` tag.  The registry is the single source of truth for
+which kinds exist on the wire; it replaces the per-module
+``{kind: handler}`` dicts that used to live in ``SeaweedNode._deliver``
+and ``PastryNode._on_message``.
+
+A :class:`Dispatcher` is one component's routing table: it maps message
+*classes* (not string literals) to bound handlers, and funnels every
+unrecognized kind through an ``on_unknown`` callback so silent drops are
+impossible — the transport counts them under ``dropped_unknown_kind``.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Iterator, Optional
+
+#: All registered message classes, keyed by their wire ``KIND`` tag.
+_REGISTRY: dict[str, type] = {}
+
+
+def register(cls: type) -> type:
+    """Class decorator: add a message class to the protocol registry.
+
+    The class must define a unique ``KIND`` string; duplicate kinds are
+    a programming error caught at import time.
+    """
+    kind = getattr(cls, "KIND", None)
+    if not isinstance(kind, str) or not kind:
+        raise TypeError(f"{cls.__name__} must define a non-empty KIND string")
+    existing = _REGISTRY.get(kind)
+    if existing is not None and existing is not cls:
+        raise ValueError(
+            f"duplicate message kind {kind!r}: "
+            f"{existing.__name__} vs {cls.__name__}"
+        )
+    _REGISTRY[kind] = cls
+    return cls
+
+
+def lookup(kind: str) -> Optional[type]:
+    """The message class registered for ``kind``, or None."""
+    return _REGISTRY.get(kind)
+
+
+def registered_kinds() -> Iterator[str]:
+    """All wire kinds known to the protocol (sorted, for stable output)."""
+    return iter(sorted(_REGISTRY))
+
+
+def registered_classes() -> Iterator[type]:
+    """All registered message classes, sorted by kind."""
+    return (_REGISTRY[kind] for kind in sorted(_REGISTRY))
+
+
+Handler = Callable[[Any], None]
+UnknownHandler = Callable[[str, Any], None]
+
+
+class Dispatcher:
+    """Registry-driven dispatch for one protocol component.
+
+    Handlers are keyed by message *class* so a typo'd kind cannot bind a
+    handler to nothing: :meth:`on` rejects classes that are not in the
+    protocol registry.  :meth:`dispatch` routes by the wire kind tag and
+    reports unknown kinds to ``on_unknown`` instead of swallowing them.
+    """
+
+    __slots__ = ("_table", "_on_unknown")
+
+    def __init__(self, on_unknown: Optional[UnknownHandler] = None) -> None:
+        self._table: dict[str, Handler] = {}
+        self._on_unknown = on_unknown
+
+    def on(self, message_cls: type, handler: Handler) -> None:
+        """Bind ``handler`` for ``message_cls`` (must be registered)."""
+        kind = getattr(message_cls, "KIND", None)
+        if kind is None or _REGISTRY.get(kind) is not message_cls:
+            raise ValueError(
+                f"{message_cls!r} is not a registered protocol message"
+            )
+        if kind in self._table:
+            raise ValueError(f"kind {kind!r} already has a handler")
+        self._table[kind] = handler
+
+    def dispatch(self, kind: str, message: Any) -> bool:
+        """Route ``message`` to the handler bound for ``kind``.
+
+        Returns True if a handler ran; False for an unknown kind (after
+        notifying ``on_unknown``, when set).
+        """
+        handler = self._table.get(kind)
+        if handler is None:
+            if self._on_unknown is not None:
+                self._on_unknown(kind, message)
+            return False
+        handler(message)
+        return True
+
+    def handles(self, kind: str) -> bool:
+        """Whether a handler is bound for ``kind``."""
+        return kind in self._table
+
+    @property
+    def kinds(self) -> tuple[str, ...]:
+        """The kinds this dispatcher handles (sorted)."""
+        return tuple(sorted(self._table))

@@ -6,6 +6,7 @@ import pytest
 from repro.core import SeaweedSystem
 from repro.core.dissemination import Disseminator
 from repro.overlay.ids import ID_MASK, in_wrapped_range, wrapped_range_size
+from repro.proto.messages import Bcast
 from repro.traces import AvailabilitySchedule, TraceSet
 from repro.workload import QUERY_HTTP_BYTES
 
@@ -72,14 +73,14 @@ class TestSplitCoverage:
         if not tasks:
             pytest.skip("node held no task in this topology")
         task = tasks[0]
-        payload = {
-            "descriptor": task.descriptor.to_payload(),
-            "lo": task.lo,
-            "hi": task.hi,
-            "parent": node.node_id,
-        }
+        bcast = Bcast(
+            descriptor=task.descriptor,
+            lo=task.lo,
+            hi=task.hi,
+            parent=node.node_id,
+        )
         before = node.disseminator.task_count
-        node.disseminator.on_broadcast(payload)
+        node.disseminator.on_broadcast(bcast)
         assert node.disseminator.task_count == before  # no duplicate task
 
     def test_expire_drops_old_tasks(self, mini):

@@ -1,0 +1,128 @@
+"""Bit-identity pin: the typed protocol layer changed no observable byte.
+
+The fingerprints below were captured on the seed tree (hand-maintained
+``size=`` literals, per-module ``{kind: handler}`` dispatch dicts,
+pre-batching transport) immediately before the protocol refactor.  With
+batching disabled — the default — the refactored stack must reproduce
+them *exactly*: same event count, same byte totals per category, same
+drop counters, same predictor timing, same result rows.
+
+Any intentional change to wire sizes, RNG draw order, or event
+scheduling shows up here first.  Update the constants only when such a
+change is deliberate, and say so in the commit.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import SeaweedSystem
+from repro.traces import generate_farsite_trace
+from repro.workload import AnemoneDataset, AnemoneParams
+
+
+def fingerprint(system: SeaweedSystem, descriptor) -> dict:
+    snapshot = system.metrics_snapshot()
+    bandwidth = snapshot["bandwidth"]
+    status = system.status_of(descriptor)
+    return {
+        "events_processed": system.sim.events_processed,
+        "total_tx": bandwidth["total_tx"],
+        "total_rx": bandwidth["total_rx"],
+        "messages": bandwidth["messages"],
+        "tx_by_category": dict(sorted(bandwidth["tx_by_category"].items())),
+        "drops_by_reason": snapshot["transport"]["drops_by_reason"],
+        "overlay_online": snapshot["overlay"]["online"],
+        "reroutes": snapshot["overlay"]["reroutes"],
+        "routing_drops": snapshot["overlay"]["routing_drops"],
+        "rows": status.rows_processed,
+        "predictor_ready_at": status.predictor_ready_at,
+        "expected_total": status.predictor.expected_total,
+        "history_len": len(status.history),
+    }
+
+
+GOLDEN_LOSSLESS = {
+    "events_processed": 25539,
+    "total_tx": 40654084.0,
+    "total_rx": 40654084.0,
+    "messages": 20060,
+    "tx_by_category": {
+        "maintenance": 33841248.0,
+        "overlay": 5666496.0,
+        "query": 1146340.0,
+    },
+    "drops_by_reason": {"offline": 2},
+    "overlay_online": 36,
+    "reroutes": 0,
+    "routing_drops": 0,
+    "rows": 45169,
+    "predictor_ready_at": 900.8391872048015,
+    "expected_total": 45169.0,
+    "history_len": 206,
+}
+
+GOLDEN_LOSSY = {
+    "events_processed": 7299,
+    "total_tx": 15073002.0,
+    "total_rx": 15073002.0,
+    "messages": 5919,
+    "tx_by_category": {
+        "maintenance": 13347692.0,
+        "overlay": 1444240.0,
+        "query": 281070.0,
+    },
+    "drops_by_reason": {"loss": 272},
+    "overlay_online": 19,
+    "reroutes": 22,
+    "routing_drops": 0,
+    "rows": 35060,
+    "predictor_ready_at": 610.6170786649496,
+    "expected_total": 35060.0,
+    "history_len": 60,
+}
+
+
+class TestBitIdentity:
+    def test_lossless_run_matches_seed_fingerprint(self):
+        seed = 11
+        duration = 5400.0
+        trace = generate_farsite_trace(
+            48, horizon=duration, rng=np.random.default_rng(seed)
+        )
+        dataset = AnemoneDataset(
+            num_profiles=10,
+            params=AnemoneParams(),
+            rng=np.random.default_rng(seed + 1),
+        )
+        system = SeaweedSystem(
+            trace, dataset, num_endsystems=48, master_seed=seed
+        )
+        system.pretrain_availability()
+        system.run_until(900.0)
+        origin, descriptor = system.inject_query(
+            "SELECT SUM(Bytes) FROM Flow WHERE SrcPort = 80", bind_now=False
+        )
+        system.run_until(duration)
+        assert fingerprint(system, descriptor) == GOLDEN_LOSSLESS
+
+    def test_lossy_run_matches_seed_fingerprint(self):
+        seed = 23
+        duration = 2700.0
+        trace = generate_farsite_trace(
+            32, horizon=duration, rng=np.random.default_rng(seed)
+        )
+        dataset = AnemoneDataset(
+            num_profiles=8,
+            params=AnemoneParams(),
+            rng=np.random.default_rng(seed + 1),
+        )
+        system = SeaweedSystem(
+            trace, dataset, num_endsystems=32, master_seed=seed, loss_rate=0.05
+        )
+        system.pretrain_availability()
+        system.run_until(600.0)
+        origin, descriptor = system.inject_query(
+            "SELECT COUNT(*) FROM Flow WHERE DstPort < 1024", bind_now=False
+        )
+        system.run_until(duration)
+        assert fingerprint(system, descriptor) == GOLDEN_LOSSY

@@ -1,0 +1,324 @@
+"""Destination batching/coalescing in the transport.
+
+Covers the frame lifecycle (open, coalesce, close on byte/count limits,
+flush on the timer), the byte accounting (one full header per frame, one
+sub-header per coalesced follower), and — critically — that the fault
+interceptor chain still rules on every *logical* message inside a batch,
+with exact ``drops_by_reason`` accounting.
+"""
+
+import numpy as np
+import pytest
+
+from repro.net.stats import BandwidthAccounting
+from repro.net.topology import Topology
+from repro.net.transport import (
+    MESSAGE_HEADER_BYTES,
+    BatchingConfig,
+    Decision,
+    Message,
+    Transport,
+    UniformLossInterceptor,
+)
+from repro.proto import codec
+from repro.sim import Simulator
+
+SUB = codec.BATCH_SUBHEADER
+
+
+def make_transport(batching=None, **kwargs):
+    sim = Simulator()
+    topology = Topology(2, [(0, 1, 0.010)], lan_delay=0.001)
+    topology.attach("a", 0)
+    topology.attach("b", 1)
+    accounting = BandwidthAccounting(bucket_seconds=60.0)
+    transport = Transport(sim, topology, accounting, batching=batching, **kwargs)
+    return sim, transport, accounting
+
+
+@pytest.fixture
+def batched():
+    config = BatchingConfig(enabled=True, max_delay=0.05)
+    sim, transport, accounting = make_transport(batching=config)
+    received = []
+    transport.register("b", lambda dst, msg: received.append((sim.now, msg)))
+    transport.set_online("a", True)
+    transport.set_online("b", True)
+    return sim, transport, accounting, received
+
+
+class TestConfig:
+    def test_disabled_config_means_no_batching(self):
+        _, transport, _ = make_transport(batching=BatchingConfig(enabled=False))
+        assert transport.batching is None
+
+    def test_no_config_means_no_batching(self):
+        _, transport, _ = make_transport()
+        assert transport.batching is None
+
+    def test_negative_delay_rejected(self):
+        with pytest.raises(ValueError, match="max_delay"):
+            BatchingConfig(enabled=True, max_delay=-1.0)
+
+    def test_zero_messages_rejected(self):
+        with pytest.raises(ValueError, match="max_messages"):
+            BatchingConfig(enabled=True, max_messages=0)
+
+    def test_oversized_sub_header_rejected(self):
+        with pytest.raises(ValueError, match="sub_header_bytes"):
+            BatchingConfig(enabled=True, sub_header_bytes=MESSAGE_HEADER_BYTES + 1)
+
+
+class TestCoalescing:
+    def test_two_sends_one_frame(self, batched):
+        sim, transport, accounting, received = batched
+        transport.send("a", "b", Message("K1", None, size=100))
+        transport.send("a", "b", Message("K2", None, size=50))
+        sim.run()
+        assert [m.kind for _, m in received] == ["K1", "K2"]
+        assert transport.batches_flushed == 1
+        assert transport.coalesced_messages == 1
+        assert transport.header_bytes_saved == MESSAGE_HEADER_BYTES - SUB
+
+    def test_frame_bytes_one_header_plus_subheaders(self, batched):
+        sim, transport, accounting, received = batched
+        transport.send("a", "b", Message("K1", None, size=100))
+        transport.send("a", "b", Message("K2", None, size=50))
+        sim.run()
+        expected = (100 + MESSAGE_HEADER_BYTES) + (50 + SUB)
+        assert accounting.total_tx == expected
+
+    def test_frame_delivers_once_at_delay_plus_latency(self, batched):
+        sim, transport, _, received = batched
+        latency = transport.topology.latency("a", "b")
+        transport.send("a", "b", Message("K1", None, size=10))
+        transport.send("a", "b", Message("K2", None, size=10))
+        sim.run()
+        times = [t for t, _ in received]
+        assert times == [pytest.approx(0.05 + latency)] * 2
+
+    def test_fifo_order_within_frame(self, batched):
+        sim, transport, _, received = batched
+        for index in range(5):
+            transport.send("a", "b", Message(f"K{index}", None, size=10))
+        sim.run()
+        assert [m.kind for _, m in received] == [f"K{index}" for index in range(5)]
+
+    def test_categories_do_not_share_frames(self, batched):
+        sim, transport, _, received = batched
+        transport.send("a", "b", Message("K1", None, size=10, category="query"))
+        transport.send("a", "b", Message("K2", None, size=10, category="overlay"))
+        sim.run()
+        assert transport.batches_flushed == 2
+        assert transport.coalesced_messages == 0
+
+    def test_batched_run_uses_fewer_events(self):
+        """N co-destined sends: one delivery event instead of N."""
+
+        def run(batching):
+            sim, transport, _ = make_transport(batching=batching)
+            transport.register("b", lambda dst, msg: None)
+            transport.set_online("a", True)
+            transport.set_online("b", True)
+            for _ in range(20):
+                transport.send("a", "b", Message("K", None, size=10))
+            sim.run()
+            return sim.events_processed
+
+        unbatched = run(None)
+        batched = run(BatchingConfig(enabled=True, max_delay=0.05))
+        assert batched < unbatched
+        assert batched == 1  # the single flush event
+
+
+class TestFrameLimits:
+    def test_max_messages_closes_frame(self):
+        config = BatchingConfig(enabled=True, max_delay=0.05, max_messages=2)
+        sim, transport, _ = make_transport(batching=config)
+        transport.register("b", lambda dst, msg: None)
+        transport.set_online("a", True)
+        transport.set_online("b", True)
+        for _ in range(3):
+            transport.send("a", "b", Message("K", None, size=10))
+        sim.run()
+        assert transport.batches_flushed == 2
+        assert transport.coalesced_messages == 1
+
+    def test_max_bytes_closes_frame(self):
+        config = BatchingConfig(enabled=True, max_delay=0.05, max_bytes=200)
+        sim, transport, _ = make_transport(batching=config)
+        transport.register("b", lambda dst, msg: None)
+        transport.set_online("a", True)
+        transport.set_online("b", True)
+        for _ in range(3):
+            transport.send("a", "b", Message("K", None, size=100))
+        sim.run()
+        # 100+48 = 148 already closes the first frame (>= 200 after the
+        # second message joins), so the burst spans two frames.
+        assert transport.batches_flushed == 2
+
+    def test_expired_frame_not_reused(self, batched):
+        sim, transport, _, received = batched
+        transport.send("a", "b", Message("K1", None, size=10))
+        # Second send happens after the first frame departed.
+        sim.schedule(
+            0.1, transport.send, "a", "b", Message("K2", None, size=10)
+        )
+        sim.run()
+        assert transport.batches_flushed == 2
+        assert transport.coalesced_messages == 0
+        assert len(received) == 2
+
+
+class TestDeliveryFaults:
+    def test_offline_destination_counts_each_logical_message(self, batched):
+        sim, transport, _, received = batched
+        transport.send("a", "b", Message("K1", None, size=10))
+        transport.send("a", "b", Message("K2", None, size=10))
+        transport.set_online("b", False)
+        sim.run()
+        assert received == []
+        assert transport.dropped_offline == 2
+        assert transport.drops_by_reason == {"offline": 2}
+
+
+class _SelectiveDrop:
+    """Drops messages whose kind is in ``doomed``."""
+
+    def __init__(self, doomed, reason="loss"):
+        self.doomed = doomed
+        self.reason = reason
+
+    def intercept(self, now, src, dst, message):
+        if message.kind in self.doomed:
+            return Decision(drop_reason=self.reason)
+        return None
+
+
+class _Shape:
+    """Applies one fixed decision to every message."""
+
+    def __init__(self, **kwargs):
+        self.kwargs = kwargs
+
+    def intercept(self, now, src, dst, message):
+        return Decision(**self.kwargs)
+
+
+class TestInterceptorsUnderBatching:
+    def test_per_message_loss_inside_frame(self, batched):
+        sim, transport, _, received = batched
+        transport.add_interceptor(_SelectiveDrop({"K2"}))
+        for kind in ("K1", "K2", "K3"):
+            transport.send("a", "b", Message(kind, None, size=10))
+        sim.run()
+        assert [m.kind for _, m in received] == ["K1", "K3"]
+        assert transport.dropped_loss == 1
+        assert transport.drops_by_reason == {"loss": 1}
+        # The dropped message still paid framing into the frame.
+        assert transport.coalesced_messages == 2
+
+    def test_uniform_loss_draws_once_per_logical_message(self):
+        config = BatchingConfig(enabled=True, max_delay=0.05)
+        sim, transport, _ = make_transport(
+            batching=config, loss_rate=0.5, loss_rng=np.random.default_rng(0)
+        )
+        received = []
+        transport.register("b", lambda dst, msg: received.append(msg))
+        transport.set_online("a", True)
+        transport.set_online("b", True)
+        count = 200
+        for _ in range(count):
+            transport.send("a", "b", Message("K", None, size=10))
+        sim.run()
+        assert transport.dropped_loss + len(received) == count
+        assert 60 <= transport.dropped_loss <= 140  # ~Binomial(200, 0.5)
+        assert transport.drops_by_reason == {"loss": transport.dropped_loss}
+
+    def test_all_lost_frame_still_flushes_empty(self, batched):
+        sim, transport, _, received = batched
+        transport.add_interceptor(_SelectiveDrop({"K1", "K2"}))
+        transport.send("a", "b", Message("K1", None, size=10))
+        transport.send("a", "b", Message("K2", None, size=10))
+        sim.run()
+        assert received == []
+        assert transport.batches_flushed == 1
+        assert transport.drops_by_reason == {"loss": 2}
+
+    def test_delayed_message_leaves_the_frame(self, batched):
+        sim, transport, _, received = batched
+        latency = transport.topology.latency("a", "b")
+        transport.send("a", "b", Message("K1", None, size=10))
+        transport.add_interceptor(_Shape(extra_delay=1.0))
+        transport.send("a", "b", Message("K2", None, size=10))
+        sim.run()
+        arrival = {m.kind: t for t, m in received}
+        assert arrival["K1"] == pytest.approx(0.05 + latency)
+        assert arrival["K2"] == pytest.approx(0.05 + latency + 1.0)
+
+    def test_duplicates_delivered_relative_to_frame(self, batched):
+        sim, transport, _, received = batched
+        latency = transport.topology.latency("a", "b")
+        transport.add_interceptor(_Shape(duplicates=2, duplicate_delay=0.5))
+        transport.send("a", "b", Message("K1", None, size=10))
+        sim.run()
+        times = sorted(t for t, _ in received)
+        base = 0.05 + latency
+        assert times == [
+            pytest.approx(base),
+            pytest.approx(base + 0.5),
+            pytest.approx(base + 1.0),
+        ]
+
+    def test_duplicated_message_counted_once_in_frame(self, batched):
+        sim, transport, accounting, received = batched
+        transport.add_interceptor(_Shape(duplicates=1, duplicate_delay=0.5))
+        transport.send("a", "b", Message("K1", None, size=10))
+        sim.run()
+        # Duplication is a delivery-side fault: bytes accounted once.
+        assert accounting.total_tx == 10 + MESSAGE_HEADER_BYTES
+        assert len(received) == 2
+
+
+class TestEndToEnd:
+    def test_seaweed_run_with_batching_saves_headers(self, small_dataset):
+        """A full deployment with batching on: fewer events, saved bytes,
+        and the query still completes exactly."""
+        from repro.core import SeaweedConfig, SeaweedSystem
+        from repro.traces import AvailabilitySchedule, TraceSet
+        from repro.workload import QUERY_HTTP_BYTES
+
+        horizon = 3600.0
+
+        def run(enabled):
+            schedules = [
+                AvailabilitySchedule.always_on(horizon) for _ in range(16)
+            ]
+            trace = TraceSet(schedules, horizon)
+            config = SeaweedConfig(
+                batching=BatchingConfig(enabled=enabled, max_delay=0.05)
+            )
+            system = SeaweedSystem(
+                trace, small_dataset, num_endsystems=16, master_seed=5,
+                config=config, startup_stagger=15.0,
+            )
+            system.run_until(400.0)
+            origin, query = system.inject_query(QUERY_HTTP_BYTES)
+            system.run_until(800.0)
+            status = system.status_of(query)
+            return system, status
+
+        system_off, status_off = run(False)
+        system_on, status_on = run(True)
+        transport = system_on.transport
+        assert transport.batches_flushed > 0
+        assert transport.coalesced_messages > 0
+        assert transport.header_bytes_saved > 0
+        assert system_off.transport.header_bytes_saved == 0
+        # Coalescing trims framing, never payload: same rows either way.
+        # (Total bytes are not directly comparable — the altered delivery
+        # timing perturbs the closed-loop protocol's message stream.)
+        assert status_on.rows_processed == status_off.rows_processed > 0
+        assert transport.header_bytes_saved == (
+            (MESSAGE_HEADER_BYTES - SUB) * transport.coalesced_messages
+        )

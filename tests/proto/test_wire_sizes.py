@@ -1,0 +1,267 @@
+"""Regression: codec-computed sizes match the seed tree's hand arithmetic.
+
+Before the typed protocol layer, every call site carried a hand-written
+``size=`` expression.  These tests pin each message class's
+``body_size()`` to the exact legacy formula (transcribed verbatim from
+the seed tree) so the codec cannot drift from the byte accounting the
+experiments were calibrated against.
+
+The one deliberate deviation — :class:`ResultSubmit` re-routes — is
+documented and asserted explicitly at the bottom.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.query import QueryDescriptor
+from repro.proto import codec
+from repro.proto.messages import (
+    ActiveReq,
+    ActiveResp,
+    Bcast,
+    BcastAck,
+    Cancel,
+    JoinReply,
+    JoinRequest,
+    LeafsetAnnounce,
+    LeafsetProbe,
+    LeafsetState,
+    MetaPush,
+    PredictorResult,
+    PredictorUpdate,
+    QueryInject,
+    ResultAck,
+    ResultSubmit,
+    RouteAck,
+    RouteEnvelope,
+    StatusPush,
+    VertexRepl,
+)
+from repro.proto.registry import registered_kinds
+
+ID_BYTES = 16  # the seed tree's literal
+
+
+class _Sized:
+    """Stand-in for predictor/metadata/result objects: only wire_size()."""
+
+    def __init__(self, size: int) -> None:
+        self._size = size
+
+    def wire_size(self) -> int:
+        return self._size
+
+
+@pytest.fixture
+def descriptor() -> QueryDescriptor:
+    return QueryDescriptor.create(
+        "SELECT SUM(Bytes) FROM Flow WHERE SrcPort = 80",
+        origin=0x1234,
+        injected_at=100.0,
+    )
+
+
+def result_payload(states: int, rows: int) -> dict:
+    return {
+        "row_count": rows,
+        "states": [{"kind": "sum"}] * states,
+        "rows": [(1, 2)] * rows,
+        "groups": {},
+    }
+
+
+# ----------------------------------------------------------------------
+# Overlay messages (legacy: src/repro/overlay/node.py literals)
+# ----------------------------------------------------------------------
+
+
+class TestOverlaySizes:
+    def test_route_forwarded(self):
+        env = RouteEnvelope(key=7, app_kind="X", app_payload=None, app_size=100)
+        assert env.body_size() == 100 + 2 * ID_BYTES
+
+    def test_route_direct(self):
+        env = RouteEnvelope(
+            key=7, app_kind="X", app_payload=None, app_size=100, direct=True
+        )
+        assert env.body_size() == 100 + ID_BYTES
+
+    def test_route_ack_free(self):
+        assert RouteAck(msg_id=3).body_size() == 0
+
+    def test_join_request_initial(self):
+        assert JoinRequest(joiner=9).body_size() == 2 * ID_BYTES
+
+    def test_join_request_forwarded(self):
+        # Legacy: ID_BYTES * (2 + len(path)) after the forwarder appended
+        # itself to the path.
+        req = JoinRequest(joiner=9, path=[1, 2, 3])
+        assert req.body_size() == ID_BYTES * (2 + 3)
+
+    def test_join_reply(self):
+        reply = JoinReply(leafset=[1, 2, 3], routing=[4, 5], path=[6])
+        # Legacy: ID_BYTES * (len(leafset) + len(routing) + 1)
+        assert reply.body_size() == ID_BYTES * (3 + 2 + 1)
+
+    def test_leafset_announce(self):
+        assert LeafsetAnnounce(joiner=1).body_size() == ID_BYTES
+
+    def test_leafset_state(self):
+        assert LeafsetState(members=[1, 2, 3, 4]).body_size() == ID_BYTES * 4
+
+    def test_leafset_probe_free(self):
+        assert LeafsetProbe().body_size() == 0
+
+
+# ----------------------------------------------------------------------
+# Dissemination messages (legacy: src/repro/core/dissemination.py)
+# ----------------------------------------------------------------------
+
+
+class TestDisseminationSizes:
+    def test_query_inject(self, descriptor):
+        # Legacy: descriptor.wire_size() == len(sql) + 48
+        msg = QueryInject(descriptor=descriptor)
+        assert msg.body_size() == descriptor.wire_size()
+        assert msg.body_size() == len(descriptor.sql) + 48
+
+    def test_bcast(self, descriptor):
+        # Legacy: descriptor.wire_size() + 40
+        msg = Bcast(descriptor=descriptor, lo=0, hi=2**128, parent=None)
+        assert msg.body_size() == descriptor.wire_size() + 40
+
+    def test_bcast_ack(self):
+        # Legacy literal: 56
+        assert BcastAck(query_id=1, lo=0, hi=10).body_size() == 56
+
+    def test_predictor_update(self):
+        # Legacy: predictor.wire_size() + 56
+        predictor = _Sized(408)
+        msg = PredictorUpdate(query_id=1, lo=0, hi=10, predictor=predictor)
+        assert msg.body_size() == 408 + 56
+
+    def test_predictor_result(self):
+        # Legacy: predictor.wire_size() + 24
+        msg = PredictorResult(query_id=1, predictor=_Sized(408))
+        assert msg.body_size() == 408 + 24
+
+
+# ----------------------------------------------------------------------
+# Aggregation messages (legacy: src/repro/core/aggregation.py)
+# ----------------------------------------------------------------------
+
+
+class TestAggregationSizes:
+    def test_result_submit(self, descriptor):
+        # Legacy: 64 + len(sql) + 8 * len(states) * 4
+        payload = result_payload(states=3, rows=0)
+        msg = ResultSubmit(
+            descriptor=descriptor, vertex_id=1, contributor=2,
+            submitter=3, version=1, result=payload,
+        )
+        assert msg.body_size() == 64 + len(descriptor.sql) + 8 * 3 * 4
+
+    def test_result_ack(self):
+        # Legacy literal: 48
+        msg = ResultAck(query_id=1, vertex_id=2, contributor=3, version=4)
+        assert msg.body_size() == 48
+
+    def test_vertex_repl(self, descriptor):
+        # Legacy: VertexState.wire_size() + len(sql), where wire_size is
+        # 32 + sum(16 + 8*len(states)*4 + 32*len(rows)) over children.
+        children = {
+            "17": (1, result_payload(states=2, rows=1)),
+            "42": (3, result_payload(states=1, rows=0)),
+        }
+        msg = VertexRepl(
+            descriptor=descriptor, vertex_id=1, primary=2,
+            up_version=1, children=children,
+        )
+        legacy_state = 32 + (16 + 8 * 2 * 4 + 32 * 1) + (16 + 8 * 1 * 4 + 32 * 0)
+        assert msg.body_size() == legacy_state + len(descriptor.sql)
+
+
+# ----------------------------------------------------------------------
+# Metadata / bookkeeping messages (legacy: src/repro/core/node.py)
+# ----------------------------------------------------------------------
+
+
+class TestMaintenanceSizes:
+    def test_meta_push_full(self):
+        # Legacy: metadata.wire_size()
+        msg = MetaPush(metadata=_Sized(5120))
+        assert msg.body_size() == 5120
+
+    def test_meta_push_beacon(self):
+        # Legacy delta path: config.delta_beacon_bytes
+        msg = MetaPush(metadata=_Sized(5120), beacon_bytes=32)
+        assert msg.body_size() == 32
+
+    def test_meta_push_category_is_maintenance(self):
+        assert MetaPush.CATEGORY == "maintenance"
+
+    def test_active_req(self):
+        # Legacy literal: 16
+        assert ActiveReq(requester=1).body_size() == 16
+
+    def test_active_resp(self, descriptor):
+        # Legacy: 16 + sum(len(sql) + 48) + 16 * len(cancelled)
+        msg = ActiveResp(active=[descriptor, descriptor], cancelled=[1, 2, 3])
+        assert msg.body_size() == 16 + 2 * (len(descriptor.sql) + 48) + 16 * 3
+
+    def test_status_push(self):
+        # Legacy: result.wire_size() + 24
+        msg = StatusPush(query_id=1, result=_Sized(200), time=5.0)
+        assert msg.body_size() == 200 + 24
+
+    def test_cancel(self):
+        # Legacy literal: 24
+        assert Cancel(query_id=1).body_size() == 24
+
+
+# ----------------------------------------------------------------------
+# Documented deviation + completeness
+# ----------------------------------------------------------------------
+
+
+class TestRerouteDeviation:
+    def test_reroute_omits_state_vector(self, descriptor):
+        """Inherited quirk, kept deliberately (see DESIGN.md §6.9).
+
+        The seed tree re-sent a stale-routed submission with only the
+        fixed part and the SQL text on the wire, although the payload
+        still carried the aggregate states.  The typed layer reproduces
+        this via the ``reroute`` flag rather than silently fixing it,
+        because the golden byte counters were captured with it.
+        """
+        payload = result_payload(states=3, rows=0)
+        kwargs = dict(
+            descriptor=descriptor, vertex_id=1, contributor=2,
+            submitter=3, version=1, result=payload,
+        )
+        first = ResultSubmit(**kwargs)
+        rerouted = ResultSubmit(**kwargs, reroute=True)
+        assert first.body_size() == 64 + len(descriptor.sql) + 8 * 3 * 4
+        assert rerouted.body_size() == 64 + len(descriptor.sql)
+        assert rerouted.body_size() < first.body_size()
+
+
+class TestCodecConstants:
+    def test_header_matches_transport(self):
+        from repro.net.transport import MESSAGE_HEADER_BYTES
+
+        assert codec.HEADER == MESSAGE_HEADER_BYTES == 48
+
+    def test_every_kind_covered(self):
+        """Every registered kind has a size test in this module."""
+        covered = {
+            "P_ROUTE", "P_ROUTE_ACK", "P_JOIN_REQ", "P_JOIN_REPLY",
+            "P_LS_ANNOUNCE", "P_LS_STATE", "P_LS_PROBE",
+            "SW_QUERY_INJECT", "SW_BCAST", "SW_BCAST_ACK",
+            "SW_PREDICTOR", "SW_PREDICTOR_RESULT",
+            "SW_RESULT_SUBMIT", "SW_RESULT_ACK", "SW_VERTEX_REPL",
+            "SW_META_PUSH", "SW_ACTIVE_REQ", "SW_ACTIVE_RESP",
+            "SW_STATUS", "SW_CANCEL",
+        }
+        assert set(registered_kinds()) == covered

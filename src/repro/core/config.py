@@ -25,6 +25,12 @@ class SeaweedConfig:
     #: disabled runs are bit-identical to the pre-batching transport).
     batching: BatchingConfig = field(default_factory=BatchingConfig)
 
+    #: Park far-out events (periodic heartbeat/refresh timers) in the
+    #: simulator's timer wheel instead of the binary heap.  Execution
+    #: order is identical either way (see :mod:`repro.sim.simulator`);
+    #: the toggle exists for the determinism tests and for bisecting.
+    timer_wheel: bool = True
+
     #: Metadata replication factor (k): replicas of each endsystem's
     #: availability model + data summary on its k closest neighbours.
     metadata_replicas: int = 8

@@ -19,7 +19,7 @@ from typing import Mapping, Optional
 from repro.core.availability_model import AvailabilityModel
 from repro.core.views import ViewResult, ViewSpec, materialize_views, normalize_sql
 from repro.db.engine import LocalDatabase
-from repro.db.histogram import Histogram
+from repro.db.histogram import Histogram, SelectivityCache
 from repro.db.sql import ParsedQuery
 
 
@@ -44,6 +44,11 @@ class EndsystemMetadata:
     views: dict[str, ViewResult] = field(default_factory=dict)
     #: Normalized view SQL -> view name, for query matching.
     view_index: dict[str, str] = field(default_factory=dict)
+    #: Selectivity memo scoped to ``summaries`` (shared by every record
+    #: built from the same database generation).  None disables memoing.
+    estimate_cache: Optional["SelectivityCache"] = field(
+        default=None, repr=False, compare=False
+    )
 
     def summary_bytes(self) -> int:
         """Serialized size of the data summary (the model parameter ``h``)."""
@@ -76,7 +81,9 @@ class EndsystemMetadata:
         table = query.table.lower()
         histograms = dict(self.summaries.get(table, {}))
         total_rows = self.row_counts.get(table, 0)
-        return estimate_row_count(query.predicate, histograms, total_rows)
+        return estimate_row_count(
+            query.predicate, histograms, total_rows, cache=self.estimate_cache
+        )
 
     @classmethod
     def build(
@@ -90,7 +97,9 @@ class EndsystemMetadata:
         now: float = 0.0,
     ) -> "EndsystemMetadata":
         """Construct fresh metadata from an endsystem's local state."""
-        summaries = database.build_summaries(num_buckets=histogram_buckets)
+        summaries, estimate_cache = database.summary_state(
+            num_buckets=histogram_buckets
+        )
         row_counts = {
             name.lower(): database.total_rows(name) for name in database.table_names
         }
@@ -104,6 +113,7 @@ class EndsystemMetadata:
             version=version,
             views=views,
             view_index=view_index,
+            estimate_cache=estimate_cache,
         )
 
 

@@ -89,7 +89,7 @@ class SeaweedSystem:
         """
         self.config = config if config is not None else SeaweedConfig()
         self.streams = RandomStreams(master_seed)
-        self.sim = Simulator(SimClock())
+        self.sim = Simulator(SimClock(), timer_wheel=self.config.timer_wheel)
         self.obs = observer if observer is not None else Observer.disabled()
         self.obs.set_clock(lambda: self.sim.now)
         if self.obs.profiler is not None:
@@ -335,11 +335,18 @@ class SeaweedSystem:
         :class:`~repro.obs.observer.Observer` and are empty/None when
         observability is disabled.
         """
+        # Publish the lazy-deletion tombstone count as a gauge so trend
+        # dashboards see it alongside the counters; the authoritative
+        # value lives on the simulator.
+        self.obs.metrics.gauge("sim.cancelled_events").set(
+            self.sim.cancelled_events
+        )
         snapshot = {
             "sim": {
                 "now": self.sim.now,
                 "events_processed": self.sim.events_processed,
                 "pending_events": self.sim.pending_events,
+                "cancelled_events": self.sim.cancelled_events,
             },
             "transport": {
                 "dropped_offline": self.transport.dropped_offline,

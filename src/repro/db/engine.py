@@ -12,7 +12,12 @@ from typing import Any, Mapping, Optional, Sequence
 import numpy as np
 
 from repro.db.executor import QueryResult, count_matching, execute
-from repro.db.histogram import Histogram, build_histogram, estimate_row_count
+from repro.db.histogram import (
+    Histogram,
+    SelectivityCache,
+    build_histogram,
+    estimate_row_count,
+)
 from repro.db.schema import Schema, SchemaError
 from repro.db.sql import ParsedQuery, parse
 from repro.db.table import Table
@@ -21,9 +26,22 @@ from repro.db.table import Table
 class LocalDatabase:
     """All local tables for one endsystem."""
 
+    #: Reuse built summaries while the data generation is unchanged.
+    #: Rebuilding is by far the simulator's hottest operation (every
+    #: metadata push re-quantiles every indexed column), and pushes vastly
+    #: outnumber writes.  Class-level so the determinism tests can flip it
+    #: for a whole run; the summaries are identical either way.
+    summary_cache_enabled = True
+
     def __init__(self) -> None:
         self._tables: dict[str, Table] = {}
         self._generation = 0  # bumped on every write; drives summary refresh
+        # One cached entry: (generation, num_buckets, summaries,
+        # selectivity cache).  A single slot suffices because a deployment
+        # uses one bucket count throughout.
+        self._summary_state: Optional[
+            tuple[int, int, dict[str, dict[str, Histogram]], SelectivityCache]
+        ] = None
 
     def create_table(self, schema: Schema) -> Table:
         """Create an empty table from ``schema``."""
@@ -100,8 +118,38 @@ class LocalDatabase:
         """Histograms for every indexed column of every table.
 
         This is the data summary Seaweed replicates: ``{table: {column:
-        histogram}}``.
+        histogram}}``.  While the data generation is unchanged the same
+        (shared, treat-as-immutable) summary dict is returned; writes
+        invalidate it via the generation counter.
         """
+        return self.summary_state(num_buckets=num_buckets)[0]
+
+    def summary_state(
+        self, num_buckets: int = 64
+    ) -> tuple[dict[str, dict[str, Histogram]], SelectivityCache]:
+        """The current summaries plus their scoped selectivity cache.
+
+        Both are pinned to the current data generation: any write
+        invalidates the pair together, so memoized row-count estimates
+        can never outlive the histograms they were computed from.
+        """
+        if self.summary_cache_enabled:
+            state = self._summary_state
+            if (
+                state is not None
+                and state[0] == self._generation
+                and state[1] == num_buckets
+            ):
+                return state[2], state[3]
+        summaries = self._build_summaries(num_buckets)
+        cache = SelectivityCache()
+        if self.summary_cache_enabled:
+            self._summary_state = (self._generation, num_buckets, summaries, cache)
+        return summaries, cache
+
+    def _build_summaries(
+        self, num_buckets: int
+    ) -> dict[str, dict[str, Histogram]]:
         summaries: dict[str, dict[str, Histogram]] = {}
         for table in self._tables.values():
             per_column: dict[str, Histogram] = {}

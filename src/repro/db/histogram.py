@@ -284,10 +284,100 @@ class _Interval:
         return self.lo == self.hi and self.lo_inclusive and self.hi_inclusive
 
 
+def predicate_fingerprint(predicate: Predicate) -> tuple:
+    """A hashable structural fingerprint of a predicate tree.
+
+    Two predicates share a fingerprint iff they estimate identically
+    against any histogram set: same tree shape, same (case-folded)
+    columns, same operators, same literal values.  This is the
+    memoization key for :class:`SelectivityCache` — in a deployment the
+    same handful of query predicates is estimated once per replicated
+    endsystem record, thousands of times against the same histograms.
+    """
+    from repro.db.expressions import And, Not, Or, TruePredicate
+
+    if isinstance(predicate, TruePredicate):
+        return ("true",)
+    if isinstance(predicate, Comparison):
+        return ("cmp", predicate.column.lower(), predicate.op, predicate.value)
+    if isinstance(predicate, Not):
+        return ("not", predicate_fingerprint(predicate.inner))
+    if isinstance(predicate, And):
+        return (
+            "and",
+            predicate_fingerprint(predicate.left),
+            predicate_fingerprint(predicate.right),
+        )
+    if isinstance(predicate, Or):
+        return (
+            "or",
+            predicate_fingerprint(predicate.left),
+            predicate_fingerprint(predicate.right),
+        )
+    raise ExpressionError(f"cannot fingerprint {predicate!r}")
+
+
+class SelectivityCache:
+    """Memo for :func:`estimate_row_count` against one fixed histogram set.
+
+    The owner must scope the cache to an immutable snapshot of the
+    histograms (e.g. one database generation — see
+    ``LocalDatabase.summary_state``); the key covers the predicate and
+    the row total, never the histogram contents.
+    """
+
+    __slots__ = ("_entries", "hits", "misses")
+
+    #: Bound on retained entries (cleared wholesale when exceeded).
+    MAX_ENTRIES = 4096
+
+    def __init__(self) -> None:
+        self._entries: dict[tuple, float] = {}
+        self.hits = 0
+        self.misses = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def get(self, key: tuple) -> Optional[float]:
+        found = self._entries.get(key)
+        if found is None:
+            self.misses += 1
+        else:
+            self.hits += 1
+        return found
+
+    def put(self, key: tuple, value: float) -> None:
+        if len(self._entries) >= self.MAX_ENTRIES:
+            self._entries.clear()
+        self._entries[key] = value
+
+
+_estimation_cache_enabled = True
+
+
+def set_estimation_cache_enabled(enabled: bool) -> bool:
+    """Toggle selectivity memoization globally; returns the previous state.
+
+    Estimates are identical either way (the memo stores exact results);
+    the switch exists for the determinism tests and for bisecting.
+    """
+    global _estimation_cache_enabled
+    previous = _estimation_cache_enabled
+    _estimation_cache_enabled = enabled
+    return previous
+
+
+def estimation_cache_enabled() -> bool:
+    """Whether selectivity memoization is active."""
+    return _estimation_cache_enabled
+
+
 def estimate_row_count(
     predicate: Predicate,
     histograms: dict[str, Histogram],
     total_rows: int,
+    cache: Optional[SelectivityCache] = None,
 ) -> float:
     """Estimate how many of ``total_rows`` rows satisfy ``predicate``.
 
@@ -296,7 +386,18 @@ def estimate_row_count(
     combined under attribute-value independence; OR uses
     inclusion-exclusion; NOT complements.  Columns without a histogram
     contribute a default selectivity of 1/3 (the classic fallback).
+
+    A ``cache`` scoped to this histogram set memoizes the result keyed by
+    :func:`predicate_fingerprint` and ``total_rows``.
     """
+    if cache is not None and _estimation_cache_enabled:
+        key = (predicate_fingerprint(predicate), total_rows)
+        found = cache.get(key)
+        if found is not None:
+            return found
+        result = _selectivity(predicate, histograms, total_rows) * total_rows
+        cache.put(key, result)
+        return result
     selectivity = _selectivity(predicate, histograms, total_rows)
     return selectivity * total_rows
 

@@ -1,0 +1,245 @@
+"""Performance-regression bench harness for the simulator hot path.
+
+Seaweed's point is querying populations far beyond the few-hundred-node
+scale the packet-level tests exercise, so the hot path needs a pinned
+performance trajectory.  This module defines seeded end-to-end scenarios
+(2k and 5k endsystems), runs them under the observability profiler, and
+records wall time, events/sec, and peak event-queue depth into
+``BENCH_sim.json`` — the artifact the ``perf-smoke`` CI job uploads and
+the acceptance gate compares against the pre-optimization baseline.
+
+Every scenario also computes the same *fingerprint* the bit-identity
+tests pin (event count, byte totals, drop counters, predictor timing),
+so a perf run doubles as a correctness check: an optimisation that
+changes any observable byte shows up as a fingerprint mismatch, not just
+a speed delta.  The 2k scenario's fingerprint is the golden pinned by
+``tests/integration/test_bit_identity.py``.
+
+Usage::
+
+    PYTHONPATH=src python -m repro.cli perf                    # all scenarios
+    PYTHONPATH=src python -m repro.cli perf --scenario 2k      # one scenario
+    PYTHONPATH=src python -m repro.cli perf --save-baseline    # re-pin baseline
+    PYTHONPATH=src python -m repro.cli perf --duration-scale 0.2  # CI smoke
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import platform
+import time
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.obs import Observer
+
+#: Default artifact path, relative to the repo root / working directory.
+DEFAULT_BENCH_PATH = "BENCH_sim.json"
+
+#: Artifact schema version (bump when the JSON layout changes).
+BENCH_SCHEMA = 1
+
+
+@dataclass(frozen=True)
+class PerfScenario:
+    """One seeded end-to-end deployment used as a performance probe."""
+
+    name: str
+    population: int
+    duration: float
+    inject_at: float
+    seed: int
+    num_profiles: int
+    sql: str = "SELECT SUM(Bytes) FROM Flow WHERE SrcPort = 80"
+
+    def scaled(self, duration_scale: float) -> "PerfScenario":
+        """The same scenario with duration (and injection time) scaled.
+
+        Used by the CI smoke job to run the 2k probe in a fraction of the
+        time; scaled runs are *not* comparable to full-duration numbers
+        and are recorded with their own duration.
+        """
+        if duration_scale == 1.0:
+            return self
+        return PerfScenario(
+            name=self.name,
+            population=self.population,
+            duration=self.duration * duration_scale,
+            inject_at=self.inject_at * duration_scale,
+            seed=self.seed,
+            num_profiles=self.num_profiles,
+            sql=self.sql,
+        )
+
+
+#: The pinned probe scenarios.  The 2k scenario is the acceptance gate
+#: (>= 1.5x events/sec over the recorded baseline) and the bit-identity
+#: golden; the 5k scenario tracks behaviour one scale step up.
+SCENARIOS: dict[str, PerfScenario] = {
+    "2k": PerfScenario(
+        name="2k", population=2000, duration=900.0, inject_at=600.0,
+        seed=7, num_profiles=40,
+    ),
+    "5k": PerfScenario(
+        name="5k", population=5000, duration=600.0, inject_at=400.0,
+        seed=7, num_profiles=40,
+    ),
+}
+
+
+def build_system(scenario: PerfScenario, observer: Optional[Observer] = None):
+    """Construct the scenario's deployment (deterministic for a seed).
+
+    Returns the :class:`~repro.core.system.SeaweedSystem`, ready to run.
+    Imported lazily so ``repro.cli perf --help`` stays fast.
+    """
+    from repro.core import SeaweedSystem
+    from repro.traces import generate_farsite_trace
+    from repro.workload import AnemoneDataset, AnemoneParams
+
+    trace = generate_farsite_trace(
+        scenario.population,
+        horizon=scenario.duration,
+        rng=np.random.default_rng(scenario.seed),
+    )
+    dataset = AnemoneDataset(
+        num_profiles=scenario.num_profiles,
+        params=AnemoneParams(),
+        rng=np.random.default_rng(scenario.seed + 1),
+    )
+    return SeaweedSystem(
+        trace,
+        dataset,
+        num_endsystems=scenario.population,
+        master_seed=scenario.seed,
+        observer=observer,
+    )
+
+
+def scenario_fingerprint(system, descriptor) -> dict:
+    """The bit-identity fingerprint of a finished scenario run.
+
+    Same fields as ``tests/integration/test_bit_identity.py`` pins: any
+    optimisation that changes an observable byte, an RNG draw, or event
+    scheduling perturbs at least one of these.
+    """
+    snapshot = system.metrics_snapshot()
+    bandwidth = snapshot["bandwidth"]
+    status = system.status_of(descriptor)
+    return {
+        "events_processed": system.sim.events_processed,
+        "total_tx": bandwidth["total_tx"],
+        "total_rx": bandwidth["total_rx"],
+        "messages": bandwidth["messages"],
+        "tx_by_category": dict(sorted(bandwidth["tx_by_category"].items())),
+        "drops_by_reason": snapshot["transport"]["drops_by_reason"],
+        "overlay_online": snapshot["overlay"]["online"],
+        "reroutes": snapshot["overlay"]["reroutes"],
+        "routing_drops": snapshot["overlay"]["routing_drops"],
+        "rows": status.rows_processed,
+        "predictor_ready_at": status.predictor_ready_at,
+        "expected_total": status.predictor.expected_total,
+        "history_len": len(status.history),
+    }
+
+
+def run_scenario(
+    scenario: PerfScenario,
+    duration_scale: float = 1.0,
+    profile: bool = True,
+) -> dict:
+    """Run one scenario and measure it.
+
+    Setup (trace/dataset generation, system construction) is excluded
+    from the timed window; the reported wall time covers only the event
+    loop — the thing the optimisations target.
+    """
+    scenario = scenario.scaled(duration_scale)
+    observer = Observer(profile=True) if profile else None
+    system = build_system(scenario, observer=observer)
+    system.pretrain_availability()
+
+    start = time.perf_counter()
+    system.run_until(scenario.inject_at)
+    _origin, descriptor = system.inject_query(scenario.sql, bind_now=False)
+    system.run_until(scenario.duration)
+    wall_s = time.perf_counter() - start
+
+    events = system.sim.events_processed
+    result = {
+        "population": scenario.population,
+        "duration_s": scenario.duration,
+        "seed": scenario.seed,
+        "wall_s": round(wall_s, 3),
+        "events_processed": events,
+        "events_per_sec": round(events / wall_s, 1) if wall_s > 0 else 0.0,
+        "pending_events": system.sim.pending_events,
+        "cancelled_events": getattr(system.sim, "cancelled_events", 0),
+        "fingerprint": scenario_fingerprint(system, descriptor),
+    }
+    if observer is not None and observer.profiler is not None:
+        prof = observer.profiler
+        result["peak_queue_depth"] = prof.queue_depth_max
+        result["mean_queue_depth"] = round(prof.queue_depth_mean, 1)
+    return result
+
+
+def load_bench(path: str = DEFAULT_BENCH_PATH) -> dict:
+    """Load the bench artifact, or an empty skeleton if absent."""
+    if os.path.exists(path):
+        with open(path, "r", encoding="utf-8") as handle:
+            return json.load(handle)
+    return {"schema": BENCH_SCHEMA, "scenarios": {}}
+
+
+def record_run(
+    bench: dict,
+    scenario: PerfScenario,
+    result: dict,
+    baseline: bool = False,
+) -> dict:
+    """Merge one scenario result into the artifact dict (in place).
+
+    ``baseline=True`` pins the result as the reference the acceptance
+    gate compares against; otherwise it lands under ``current`` and the
+    events/sec speedup versus the recorded baseline is recomputed.
+    """
+    section = bench.setdefault("scenarios", {}).setdefault(scenario.name, {})
+    section["population"] = scenario.population
+    section["seed"] = scenario.seed
+    slot = "baseline" if baseline else "current"
+    section[slot] = {
+        key: result[key]
+        for key in (
+            "duration_s", "wall_s", "events_processed", "events_per_sec",
+            "peak_queue_depth", "mean_queue_depth",
+            "pending_events", "cancelled_events",
+        )
+        if key in result
+    }
+    section[slot]["python"] = platform.python_version()
+    base = section.get("baseline")
+    cur = section.get("current")
+    # Only comparable when both slots ran the full simulated duration;
+    # CI smoke runs (--duration-scale < 1) never produce a speedup.
+    if (
+        base and cur and base.get("events_per_sec")
+        and base.get("duration_s") == cur.get("duration_s")
+    ):
+        section["speedup_events_per_sec"] = round(
+            cur["events_per_sec"] / base["events_per_sec"], 2
+        )
+    else:
+        section.pop("speedup_events_per_sec", None)
+    return bench
+
+
+def save_bench(bench: dict, path: str = DEFAULT_BENCH_PATH) -> None:
+    """Write the artifact with stable formatting (reviewable diffs)."""
+    bench["schema"] = BENCH_SCHEMA
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(bench, handle, indent=2, sort_keys=True)
+        handle.write("\n")

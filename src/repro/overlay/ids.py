@@ -18,6 +18,7 @@ hot paths (routing, range subdivision) allocation-free.
 from __future__ import annotations
 
 import hashlib
+from functools import lru_cache
 
 import numpy as np
 
@@ -26,6 +27,7 @@ ID_SPACE = 1 << ID_BITS
 ID_MASK = ID_SPACE - 1
 
 
+@lru_cache(maxsize=None)
 def digits_per_id(b: int) -> int:
     """Number of base-``2^b`` digits in an identifier."""
     if b <= 0 or ID_BITS % b != 0:
@@ -133,11 +135,17 @@ def random_id(rng: np.random.Generator) -> int:
     return (high << 64) | low
 
 
+# The hex <-> int conversions run on every transport send/receive, and
+# the universe of values is population-bounded (endsystem ids, plus a
+# handful of query and vertex keys), so memoization turns the per-message
+# formatting into a dict hit.
+@lru_cache(maxsize=1 << 16)
 def id_to_hex(identifier: int) -> str:
     """Canonical 32-hex-digit rendering of an identifier."""
     return f"{identifier & ID_MASK:032x}"
 
 
+@lru_cache(maxsize=1 << 16)
 def hex_to_id(text: str) -> int:
     """Parse an identifier from its hex rendering."""
     value = int(text, 16)

@@ -22,6 +22,8 @@ class Leafset:
         self.half = size // 2
         self._cw: list[int] = []  # sorted by clockwise distance from owner
         self._ccw: list[int] = []  # sorted by counter-clockwise distance
+        #: Bumped on every actual mutation; next-hop caches key on it.
+        self.version = 0
 
     def add(self, node_id: int) -> bool:
         """Consider ``node_id`` for membership.  Returns True if it was added."""
@@ -32,6 +34,8 @@ class Leafset:
             added = True
         if self._insert(self._ccw, cw_distance(node_id, self.owner), node_id):
             added = True
+        if added:
+            self.version += 1
         return added
 
     def _insert(self, side: list[int], distance: int, node_id: int) -> bool:
@@ -63,6 +67,8 @@ class Leafset:
         if node_id in self._ccw:
             self._ccw.remove(node_id)
             removed = True
+        if removed:
+            self.version += 1
         return removed
 
     @property

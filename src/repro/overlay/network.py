@@ -60,6 +60,10 @@ class OverlayConfig:
     #: cannot resurrect a dead entry within this window; any message
     #: received *from* the peer clears the record immediately.
     death_record_ttl: float = 90.0
+    #: Cache next-hop decisions per destination key, invalidated by the
+    #: routing-table/leafset version counters.  Decisions are identical
+    #: with the cache off; the toggle exists for the determinism tests.
+    route_cache: bool = True
 
 
 class OverlayNetwork:

@@ -69,6 +69,9 @@ KIND_LEAFSET_PROBE = LeafsetProbe.KIND
 
 DeliverUpcall = Callable[[int, str, Any, int], None]
 
+#: Route-cache miss sentinel (``None`` means "deliver locally").
+_MISS: object = object()
+
 
 class PastryNode:
     """One overlay node; lives on a single endsystem."""
@@ -87,6 +90,12 @@ class PastryNode:
         self._pending_acks: set[int] = set()
         self._stabilize_timer = None
         self._joined = False
+        # Next-hop memo: {destination key: decision}.  Valid only while
+        # the (routing_table, leafset) version pair is unchanged — every
+        # input of _compute_next_hop is covered by those two counters.
+        self._route_cache: dict[int, Optional[int]] = {}
+        self._route_cache_versions: Optional[tuple[int, int]] = None
+        self._route_cache_enabled = network.config.route_cache
         # Death records: {node_id: observation time}.  Entries suppress
         # gossip-driven resurrection of dead peers for a TTL.
         self._death_records: dict[int, float] = {}
@@ -224,6 +233,10 @@ class PastryNode:
         self._death_records.clear()
         self.leafset = Leafset(self.node_id, size=self.network.config.leafset_size)
         self.routing_table = RoutingTable(self.node_id, b=self.network.config.b)
+        # The fresh state objects restart their version counters, which
+        # could collide with the memoized pair — drop the memo outright.
+        self._route_cache.clear()
+        self._route_cache_versions = None
         self.network.transport.set_online(self.name, True)
         self._joined = False
         if self.network.c_joins is not None:
@@ -335,7 +348,37 @@ class PastryNode:
         message = Message.of(envelope, category)
         self._forward_with_ack(next_hop, message, envelope, category)
 
+    #: Bound on the per-node next-hop memo (cleared wholesale when full).
+    ROUTE_CACHE_MAX = 4096
+
     def _next_hop(self, key: int) -> Optional[int]:
+        """Cached Pastry routing decision; None means deliver locally.
+
+        Cached per exact destination key, not per digit prefix: a
+        leafset-covered key resolves to the numerically closest member,
+        which two keys sharing any digit prefix need not agree on, so
+        prefix-level caching would corrupt near-ring routing.  The memo
+        is dropped whenever either routing input mutates (version
+        counters) — see DESIGN.md §6.10.
+        """
+        if not self._route_cache_enabled:
+            return self._compute_next_hop(key)
+        versions = (self.routing_table.version, self.leafset.version)
+        cache = self._route_cache
+        if versions != self._route_cache_versions:
+            cache.clear()
+            self._route_cache_versions = versions
+        else:
+            hit = cache.get(key, _MISS)
+            if hit is not _MISS:
+                return hit
+        decision = self._compute_next_hop(key)
+        if len(cache) >= self.ROUTE_CACHE_MAX:
+            cache.clear()
+        cache[key] = decision
+        return decision
+
+    def _compute_next_hop(self, key: int) -> Optional[int]:
         """Standard Pastry routing decision; None means deliver locally."""
         if key == self.node_id:
             return None

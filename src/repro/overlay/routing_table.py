@@ -16,9 +16,15 @@ from typing import Iterator, Optional
 
 from repro.overlay.ids import common_prefix_len, digit, digits_per_id
 
+#: Slot-cache miss sentinel (``None`` is a legitimate cached value).
+_UNKNOWN: object = object()
+
 
 class RoutingTable:
     """Per-node prefix routing state."""
+
+    #: Bound on the per-instance slot memo (cleared wholesale when full).
+    SLOT_CACHE_MAX = 1024
 
     def __init__(self, owner: int, b: int = 4) -> None:
         self.owner = owner
@@ -29,13 +35,27 @@ class RoutingTable:
         # practice (only log N rows are populated), so a dict beats a
         # dense 32x16 matrix.
         self._entries: dict[tuple[int, int], int] = {}
+        # A node's slot is a pure function of (owner, b, node_id), and
+        # add() runs on every delivered envelope for the same small set
+        # of peers — memoize the digit arithmetic per instance.
+        self._slot_cache: dict[int, Optional[tuple[int, int]]] = {}
+        #: Bumped on every actual mutation; next-hop caches key on it.
+        self.version = 0
 
     def _slot(self, node_id: int) -> Optional[tuple[int, int]]:
+        cache = self._slot_cache
+        slot = cache.get(node_id, _UNKNOWN)
+        if slot is not _UNKNOWN:
+            return slot
         if node_id == self.owner:
-            return None
-        row = common_prefix_len(self.owner, node_id, self.b)
-        col = digit(node_id, row, self.b)
-        return row, col
+            slot = None
+        else:
+            row = common_prefix_len(self.owner, node_id, self.b)
+            slot = (row, digit(node_id, row, self.b))
+        if len(cache) >= self.SLOT_CACHE_MAX:
+            cache.clear()
+        cache[node_id] = slot
+        return slot
 
     def add(self, node_id: int) -> bool:
         """Install ``node_id`` if its slot is empty.  Returns True if stored."""
@@ -45,13 +65,15 @@ class RoutingTable:
         if slot in self._entries:
             return False
         self._entries[slot] = node_id
+        self.version += 1
         return True
 
     def replace(self, node_id: int) -> None:
         """Install ``node_id``, overwriting any existing entry in its slot."""
         slot = self._slot(node_id)
-        if slot is not None:
+        if slot is not None and self._entries.get(slot) != node_id:
             self._entries[slot] = node_id
+            self.version += 1
 
     def remove(self, node_id: int) -> bool:
         """Evict a (presumed dead) entry.  Returns True if it was present."""
@@ -60,6 +82,7 @@ class RoutingTable:
             return False
         if self._entries.get(slot) == node_id:
             del self._entries[slot]
+            self.version += 1
             return True
         return False
 

@@ -9,7 +9,7 @@ deterministic even when many events share a timestamp.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Callable
+from typing import Any, Callable, Optional
 
 
 @dataclass(order=True)
@@ -37,14 +37,23 @@ class Event:
 class EventHandle:
     """Handle returned by scheduling calls; allows cancellation.
 
-    Cancellation is O(1): the event is flagged and lazily discarded when it
-    reaches the head of the queue.
+    Cancellation is O(1): the event is flagged and lazily discarded when
+    it reaches the head of the queue (or when its timer-wheel bucket is
+    cascaded — cancelled wheel entries never enter the heap at all).
+    The optional ``on_cancel`` callback lets the owning simulator keep an
+    exact count of dead-but-resident entries for the
+    ``sim.cancelled_events`` gauge and for compaction decisions.
     """
 
-    __slots__ = ("_event",)
+    __slots__ = ("_event", "_on_cancel")
 
-    def __init__(self, event: Event) -> None:
+    def __init__(
+        self,
+        event: Event,
+        on_cancel: Optional[Callable[[Event], None]] = None,
+    ) -> None:
         self._event = event
+        self._on_cancel = on_cancel
 
     @property
     def time(self) -> float:
@@ -58,7 +67,10 @@ class EventHandle:
 
     def cancel(self) -> None:
         """Prevent the event from firing.  Idempotent."""
-        self._event.cancelled = True
+        if not self._event.cancelled:
+            self._event.cancelled = True
+            if self._on_cancel is not None:
+                self._on_cancel(self._event)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         state = "cancelled" if self.cancelled else "pending"

@@ -1,8 +1,24 @@
 """A deterministic discrete-event simulator.
 
 The simulator is the substrate on which the Pastry overlay, the network
-transport, and the Seaweed protocols all run.  It is a classic calendar
-queue built on :mod:`heapq`:
+transport, and the Seaweed protocols all run.  The event index is a
+two-level structure tuned for overlay workloads:
+
+* a lazy-deletion binary heap (:mod:`heapq`) holds the near-term events;
+* a sparse *timer wheel* — a dict of per-second buckets — holds far-out
+  events, which in a Seaweed deployment are overwhelmingly the periodic
+  heartbeat/refresh timers (30 s - 17.5 min periods).  Buckets are
+  *cascaded* into the heap in deterministic ``(time, seq)`` order just
+  before the loop could reach them, so wheel placement is invisible to
+  execution order: runs are bit-identical with the wheel on or off.
+
+The split matters at scale: with N endsystems the heap would otherwise
+carry O(N) long-period timers at all times, charging every push and pop
+an O(log N) sift through entries that are minutes away.  Cancelled
+timers (a node goes offline, a pending ack is satisfied) are flagged,
+counted in :attr:`Simulator.cancelled_events`, skipped for free at
+cascade time if still in the wheel, and compacted away when they would
+otherwise dominate the index.
 
 * events are ordered by ``(time, seq)`` so same-instant events fire in
   scheduling order, making runs bit-reproducible for a fixed seed;
@@ -89,11 +105,22 @@ class Simulator:
         sim.run_until(10.0)
     """
 
+    #: Compaction threshold: once more than this many cancelled entries
+    #: are resident *and* they outnumber live ones, the index is drained.
+    #: The halving rule keeps compaction amortized O(1) per cancellation.
+    COMPACT_MIN_CANCELLED = 64
+
     def __init__(
         self,
         clock: Optional[SimClock] = None,
         profiler: Optional["SimProfiler"] = None,
+        timer_wheel: bool = True,
+        wheel_granularity: float = 1.0,
     ) -> None:
+        if wheel_granularity <= 0:
+            raise SimulationError(
+                f"wheel_granularity must be positive, got {wheel_granularity}"
+            )
         self._queue: list[Event] = []
         self._now = 0.0
         self._seq = 0
@@ -101,6 +128,20 @@ class Simulator:
         self._running = False
         self._profiler = profiler
         self.clock = clock if clock is not None else SimClock()
+        # Timer wheel: sparse per-granularity buckets of far-out events,
+        # plus a heap of bucket indices so the earliest pending bucket is
+        # O(1) to find.  ``_watermark`` is the highest bucket index ever
+        # cascaded; events landing at or below it go straight to the
+        # heap, so a bucket index is never re-created after cascading.
+        self._wheel_enabled = timer_wheel
+        self._wheel_granularity = wheel_granularity
+        self._wheel: dict[int, list[Event]] = {}
+        self._bucket_heap: list[int] = []
+        self._wheel_len = 0
+        self._watermark = -1
+        # Dead-but-resident entries (heap + wheel), kept exact via the
+        # EventHandle cancel notification.
+        self._cancelled_resident = 0
 
     @property
     def profiler(self) -> Optional["SimProfiler"]:
@@ -129,8 +170,28 @@ class Simulator:
 
     @property
     def pending_events(self) -> int:
-        """Number of events in the queue, including cancelled ones."""
-        return len(self._queue)
+        """Number of live (non-cancelled) events awaiting execution."""
+        return len(self._queue) + self._wheel_len - self._cancelled_resident
+
+    @property
+    def cancelled_events(self) -> int:
+        """Cancelled entries still resident in the heap or the wheel.
+
+        These are the lazy-deletion tombstones: O(1) to create, reclaimed
+        when popped/cascaded past or by :meth:`drain_cancelled` (which
+        also runs automatically when they outnumber live entries).
+        """
+        return self._cancelled_resident
+
+    def _note_cancel(self, event: Event) -> None:
+        # EventHandle cancel notification: count the tombstone, and
+        # compact once dead entries dominate the index.
+        self._cancelled_resident += 1
+        if (
+            self._cancelled_resident > self.COMPACT_MIN_CANCELLED
+            and self._cancelled_resident * 2 > len(self._queue) + self._wheel_len
+        ):
+            self.drain_cancelled()
 
     def schedule(
         self, delay: float, callback: Callable[..., Any], *args: Any, **kwargs: Any
@@ -158,8 +219,21 @@ class Simulator:
             bound = callback
         event = Event(time=time, seq=self._seq, callback=bound)
         self._seq += 1
+        if self._wheel_enabled:
+            bucket = int(time / self._wheel_granularity)
+            if bucket > self._watermark:
+                # Far-out event: O(1) append, no heap sift.  It reaches
+                # the heap (in order) when its bucket cascades.
+                entries = self._wheel.get(bucket)
+                if entries is None:
+                    self._wheel[bucket] = [event]
+                    heapq.heappush(self._bucket_heap, bucket)
+                else:
+                    entries.append(event)
+                self._wheel_len += 1
+                return EventHandle(event, self._note_cancel)
         heapq.heappush(self._queue, event)
-        return EventHandle(event)
+        return EventHandle(event, self._note_cancel)
 
     def schedule_periodic(
         self,
@@ -177,11 +251,49 @@ class Simulator:
             raise SimulationError(f"period must be positive, got {period}")
         return PeriodicTimer(self, period, callback, first_delay)
 
+    def _cascade(self) -> None:
+        """Move due wheel buckets into the heap.
+
+        A bucket must be in the heap before any event at or after its
+        start executes — an entry in bucket B can precede a heap head at
+        time >= B * granularity (same instant, lower seq).  Cascading
+        whole buckets keeps the check to two comparisons per event while
+        preserving exact ``(time, seq)`` order, because the heap re-sorts
+        the bucket's (unordered) entries.  Cancelled entries are dropped
+        here without ever touching the heap.
+        """
+        buckets = self._bucket_heap
+        if not buckets:
+            return
+        queue = self._queue
+        granularity = self._wheel_granularity
+        while buckets and (
+            not queue or buckets[0] * granularity <= queue[0].time
+        ):
+            bucket = heapq.heappop(buckets)
+            self._watermark = bucket
+            entries = self._wheel.pop(bucket, None)
+            if entries is None:
+                # Bucket emptied by drain_cancelled; only its index was
+                # left behind in the bucket heap.
+                continue
+            self._wheel_len -= len(entries)
+            for event in entries:
+                if event.cancelled:
+                    self._cancelled_resident -= 1
+                else:
+                    heapq.heappush(queue, event)
+
     def step(self) -> bool:
         """Execute the next pending event.  Returns False if the queue is empty."""
-        while self._queue:
+        while True:
+            if self._wheel_len:
+                self._cascade()
+            if not self._queue:
+                return False
             event = heapq.heappop(self._queue)
             if event.cancelled:
+                self._cancelled_resident -= 1
                 continue
             self._now = event.time
             self._events_processed += 1
@@ -194,21 +306,28 @@ class Simulator:
                 profiler.record(
                     handler_label(event.callback),
                     perf_counter() - start,
-                    len(self._queue),
+                    len(self._queue) + self._wheel_len,
                 )
             return True
-        return False
 
     def run_until(self, time: float) -> None:
         """Run all events with firing time <= ``time``, then advance the clock to it."""
         if time < self._now:
             raise SimulationError(f"cannot run backwards to {time} from {self._now}")
-        while self._queue:
+        while True:
+            if self._wheel_len:
+                self._cascade()
+            if not self._queue:
+                break
             head = self._queue[0]
             if head.cancelled:
                 heapq.heappop(self._queue)
+                self._cancelled_resident -= 1
                 continue
             if head.time > time:
+                # Wheel entries are all in buckets starting after
+                # ``head.time`` (else they would have cascaded), so
+                # nothing pending anywhere is due by ``time``.
                 break
             self.step()
         self._now = time
@@ -223,10 +342,27 @@ class Simulator:
         return count
 
     def drain_cancelled(self) -> None:
-        """Compact the queue by dropping cancelled events (periodic maintenance)."""
+        """Compact the index by dropping cancelled events.
+
+        Called automatically when tombstones outnumber live entries (see
+        :meth:`_note_cancel`); harmless to call at any time.
+        """
         live = [e for e in self._queue if not e.cancelled]
         heapq.heapify(live)
         self._queue = live
+        if self._wheel_len:
+            for bucket in list(self._wheel):
+                entries = [e for e in self._wheel[bucket] if not e.cancelled]
+                removed = len(self._wheel[bucket]) - len(entries)
+                if removed:
+                    self._wheel_len -= removed
+                    if entries:
+                        self._wheel[bucket] = entries
+                    else:
+                        del self._wheel[bucket]
+                        # The stale index stays in _bucket_heap; cascade
+                        # tolerates missing buckets via pop-with-default.
+        self._cancelled_resident = 0
 
 
 class PeriodicTimer:

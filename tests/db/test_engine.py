@@ -79,3 +79,43 @@ class TestSummaries:
 
     def test_total_bytes_positive(self, flow_db):
         assert flow_db.total_bytes() > 0
+
+
+class TestSummaryCache:
+    def test_same_object_while_generation_unchanged(self, flow_db):
+        first, cache_a = flow_db.summary_state()
+        second, cache_b = flow_db.summary_state()
+        assert first is second
+        assert cache_a is cache_b
+
+    def test_write_invalidates(self, flow_db):
+        before, cache_before = flow_db.summary_state()
+        flow_db.insert(
+            "Flow",
+            {"ts": 1, "SrcPort": 80, "Bytes": 10, "App": "web", "Packets": 1},
+        )
+        after, cache_after = flow_db.summary_state()
+        assert after is not before
+        assert cache_after is not cache_before
+
+    def test_bucket_count_part_of_key(self, flow_db):
+        coarse, _ = flow_db.summary_state(num_buckets=8)
+        fine, _ = flow_db.summary_state(num_buckets=64)
+        assert coarse is not fine
+
+    def test_disabled_rebuilds_identically(self, flow_db):
+        cached = flow_db.build_summaries()
+        previous = LocalDatabase.summary_cache_enabled
+        LocalDatabase.summary_cache_enabled = False
+        try:
+            rebuilt = flow_db.build_summaries()
+        finally:
+            LocalDatabase.summary_cache_enabled = previous
+        assert rebuilt is not cached
+        assert set(rebuilt) == set(cached)
+        for table, per_column in cached.items():
+            for column, histogram in per_column.items():
+                other = rebuilt[table][column]
+                query = parse("SELECT COUNT(*) FROM Flow")
+                assert type(other) is type(histogram)
+                assert other.size_bytes() == histogram.size_bytes()

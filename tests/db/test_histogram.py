@@ -162,3 +162,103 @@ class TestEstimateRowCount:
     def test_zero_rows(self, histograms):
         hists, _, _ = histograms
         assert estimate_row_count(Comparison("port", "=", 80), hists, 0) == 0.0
+
+
+class TestPredicateFingerprint:
+    def test_structural_and_case_insensitive(self):
+        from repro.db.histogram import predicate_fingerprint
+
+        a = And(Comparison("Port", "=", 80), Comparison("size", ">", 10.0))
+        b = And(Comparison("port", "=", 80), Comparison("SIZE", ">", 10.0))
+        assert predicate_fingerprint(a) == predicate_fingerprint(b)
+
+    def test_distinguishes_values_ops_and_shape(self):
+        from repro.db.histogram import predicate_fingerprint
+
+        base = Comparison("port", "=", 80)
+        assert predicate_fingerprint(base) != predicate_fingerprint(
+            Comparison("port", "=", 443)
+        )
+        assert predicate_fingerprint(base) != predicate_fingerprint(
+            Comparison("port", ">", 80)
+        )
+        assert predicate_fingerprint(
+            And(base, TruePredicate())
+        ) != predicate_fingerprint(Or(base, TruePredicate()))
+        assert predicate_fingerprint(Not(base)) != predicate_fingerprint(base)
+
+
+class TestSelectivityCache:
+    @pytest.fixture
+    def histograms(self, rng):
+        ports = rng.choice([80, 443, 445], 10000, p=[0.5, 0.3, 0.2])
+        sizes = rng.exponential(1000, 10000)
+        return (
+            {
+                "port": build_histogram(ports),
+                "size": build_histogram(sizes),
+            },
+            ports,
+            sizes,
+        )
+
+    def test_cached_estimates_match_uncached(self, histograms):
+        from repro.db.histogram import SelectivityCache
+
+        hists, _, _ = histograms
+        cache = SelectivityCache()
+        predicate = And(Comparison("port", "=", 80), Comparison("size", ">", 500.0))
+        first = estimate_row_count(predicate, hists, 10000, cache=cache)
+        second = estimate_row_count(predicate, hists, 10000, cache=cache)
+        bare = estimate_row_count(predicate, hists, 10000)
+        assert first == second == bare
+        assert cache.hits == 1 and cache.misses == 1
+
+    def test_total_rows_part_of_key(self, histograms):
+        from repro.db.histogram import SelectivityCache
+
+        hists, _, _ = histograms
+        cache = SelectivityCache()
+        predicate = Comparison("port", "=", 80)
+        at_10k = estimate_row_count(predicate, hists, 10000, cache=cache)
+        at_5k = estimate_row_count(predicate, hists, 5000, cache=cache)
+        assert at_5k == pytest.approx(at_10k / 2)
+        assert cache.misses == 2
+
+    def test_disable_flag_bypasses_cache(self, histograms):
+        from repro.db.histogram import (
+            SelectivityCache,
+            set_estimation_cache_enabled,
+        )
+
+        hists, _, _ = histograms
+        cache = SelectivityCache()
+        predicate = Comparison("port", "=", 80)
+        previous = set_estimation_cache_enabled(False)
+        try:
+            estimate_row_count(predicate, hists, 10000, cache=cache)
+            estimate_row_count(predicate, hists, 10000, cache=cache)
+        finally:
+            set_estimation_cache_enabled(previous)
+        assert cache.hits == 0 and cache.misses == 0
+
+    def test_overflow_clears_and_stays_correct(self, histograms):
+        from repro.db.histogram import SelectivityCache
+
+        hists, ports, _ = histograms
+
+        class TinyCache(SelectivityCache):
+            __slots__ = ()
+            MAX_ENTRIES = 8
+
+        cache = TinyCache()
+        for value in range(20):
+            estimate_row_count(
+                Comparison("port", "=", value), hists, 10000, cache=cache
+            )
+        estimate = estimate_row_count(
+            Comparison("port", "=", 80), hists, 10000, cache=cache
+        )
+        assert estimate == pytest.approx(
+            estimate_row_count(Comparison("port", "=", 80), hists, 10000)
+        )

@@ -82,6 +82,30 @@ GOLDEN_LOSSY = {
 }
 
 
+# Captured on the pre-optimization tree (plain binary heap, no route
+# cache, per-push summary rebuilds) running the perf harness's 2k
+# scenario.  The optimised hot path must reproduce it byte for byte.
+GOLDEN_2K = {
+    "events_processed": 269361,
+    "total_tx": 949278850.0,
+    "total_rx": 949278850.0,
+    "messages": 222010,
+    "tx_by_category": {
+        "maintenance": 902525288.0,
+        "overlay": 34762208.0,
+        "query": 11991354.0,
+    },
+    "drops_by_reason": {},
+    "overlay_online": 1386,
+    "reroutes": 0,
+    "routing_drops": 0,
+    "rows": 719497,
+    "predictor_ready_at": 602.2841456365759,
+    "expected_total": 724445.0,
+    "history_len": 481,
+}
+
+
 class TestBitIdentity:
     def test_lossless_run_matches_seed_fingerprint(self):
         seed = 11
@@ -126,3 +150,21 @@ class TestBitIdentity:
         )
         system.run_until(duration)
         assert fingerprint(system, descriptor) == GOLDEN_LOSSY
+
+    def test_2k_perf_scenario_matches_pre_optimization_fingerprint(self):
+        """The perf harness's 2k probe, at full scale: the timer wheel,
+        route cache, and summary/selectivity caches must leave every
+        observable number exactly where the seed tree had it."""
+        from repro.harness.perfbench import (
+            SCENARIOS,
+            build_system,
+            scenario_fingerprint,
+        )
+
+        scenario = SCENARIOS["2k"]
+        system = build_system(scenario)
+        system.pretrain_availability()
+        system.run_until(scenario.inject_at)
+        _origin, descriptor = system.inject_query(scenario.sql, bind_now=False)
+        system.run_until(scenario.duration)
+        assert scenario_fingerprint(system, descriptor) == GOLDEN_2K

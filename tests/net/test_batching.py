@@ -11,6 +11,7 @@ import numpy as np
 import pytest
 
 from repro.net.stats import BandwidthAccounting
+from repro.obs import Observer
 from repro.net.topology import Topology
 from repro.net.transport import (
     MESSAGE_HEADER_BYTES,
@@ -322,3 +323,98 @@ class TestEndToEnd:
         assert transport.header_bytes_saved == (
             (MESSAGE_HEADER_BYTES - SUB) * transport.coalesced_messages
         )
+
+
+class _FrameLog(Observer):
+    """Observer that journals flushes into a shared, ordered log."""
+
+    def __init__(self, log):
+        super().__init__()
+        self._log = log
+
+    def batch_flush(self, t, src, dst, category, messages, wire_bytes):
+        self._log.append(("FLUSH", dst, messages))
+        super().batch_flush(t, src, dst, category, messages, wire_bytes)
+
+
+class TestBatchInvariants:
+    """Structural invariants of destination batching.
+
+    1. A flushed frame never interleaves destinations: every logical
+       message delivered by a frame goes to the frame's single ``dst``.
+    2. The counters reconcile: each frame has exactly one opener, so
+       ``batches_flushed + coalesced_messages`` equals the number of
+       logical messages admitted across all frames.
+    """
+
+    def _interleaved_run(self):
+        sim = Simulator()
+        topology = Topology(2, [(0, 1, 0.010)], lan_delay=0.001)
+        topology.attach("a", 0)
+        for index, dst in enumerate(("b", "c", "d")):
+            topology.attach(dst, index % 2)
+        log = []
+        observer = _FrameLog(log)
+        transport = Transport(
+            sim,
+            topology,
+            BandwidthAccounting(bucket_seconds=60.0),
+            observer=observer,
+            batching=BatchingConfig(enabled=True, max_delay=0.05),
+        )
+        transport.set_online("a", True)
+        for dst in ("b", "c", "d"):
+            transport.register(
+                dst, lambda d, msg: log.append(("MSG", d, msg.kind))
+            )
+            transport.set_online(dst, True)
+        # Round-robin interleaved sends across three destinations, two
+        # categories, and a second wave after the first frames departed.
+        sends = 0
+        for wave in range(2):
+            at = wave * 0.2
+            for index in range(12):
+                dst = "bcd"[index % 3]
+                category = ("query", "overlay")[index % 2]
+                sim.schedule(
+                    at,
+                    transport.send,
+                    "a",
+                    dst,
+                    Message(f"K{wave}.{index}", None, size=10, category=category),
+                )
+                sends += 1
+        sim.run()
+        return transport, log, sends
+
+    def test_frames_never_interleave_destinations(self):
+        transport, log, _ = self._interleaved_run()
+        index = 0
+        frames = 0
+        while index < len(log):
+            marker, dst, admitted = log[index]
+            assert marker == "FLUSH", f"unframed delivery at log[{index}]"
+            body = log[index + 1 : index + 1 + admitted]
+            assert len(body) == admitted
+            assert all(entry[0] == "MSG" for entry in body)
+            assert {entry[1] for entry in body} == {dst}
+            index += 1 + admitted
+            frames += 1
+        assert frames == transport.batches_flushed > 0
+
+    def test_counters_reconcile_with_admitted_messages(self):
+        transport, log, sends = self._interleaved_run()
+        admitted = sum(count for marker, _, count in log if marker == "FLUSH")
+        assert admitted == sends
+        assert transport.batches_flushed + transport.coalesced_messages == admitted
+        assert transport.header_bytes_saved == (
+            (MESSAGE_HEADER_BYTES - SUB) * transport.coalesced_messages
+        )
+        # The observer counters mirror the transport's own tallies.
+        registry = transport._obs.metrics
+        assert registry.counter(
+            "transport.batches_flushed_total"
+        ).value == transport.batches_flushed
+        assert registry.counter(
+            "transport.coalesced_messages_total"
+        ).value == transport.coalesced_messages

@@ -145,3 +145,30 @@ class TestMerge:
     def test_merge_ignores_owner(self):
         ls = Leafset(0, size=8)
         assert not ls.merge([0])
+
+
+class TestVersionCounter:
+    def test_add_and_remove_bump(self):
+        ls = Leafset(0, size=8)
+        assert ls.version == 0
+        ls.add(10)
+        assert ls.version == 1
+        ls.add(10)  # already a member: no mutation
+        assert ls.version == 1
+        ls.remove(10)
+        assert ls.version == 2
+        ls.remove(10)
+        assert ls.version == 2
+
+    def test_rejected_candidate_does_not_bump(self):
+        ids = ring_ids(32, seed=7)
+        owner = ids[16]
+        ls = Leafset(owner, size=4)
+        for node in ids:
+            ls.add(node)
+        version = ls.version
+        # A candidate farther than every current member on both sides is
+        # rejected outright and must not invalidate routing caches.
+        rejected = ids[0]
+        assert not ls.add(rejected)
+        assert ls.version == version

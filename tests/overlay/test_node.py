@@ -189,3 +189,36 @@ class TestFailure:
             key=lambda c: (ring_distance(c, nodes[0].node_id), c),
         )[:4]
         assert set(replicas) == set(expected)
+
+
+class TestRouteCache:
+    def test_cached_decisions_match_computed(self, overlay):
+        sim, network, nodes, _ = overlay
+        bring_all_online(sim, network, nodes, np.random.default_rng(3))
+        rng = np.random.default_rng(99)
+        node = nodes[5]
+        for _ in range(50):
+            key = random_id(rng)
+            first = node._next_hop(key)       # populates the memo
+            assert node._next_hop(key) == first  # memo hit
+            assert first == node._compute_next_hop(key)
+
+    def test_mutation_invalidates_cache(self, overlay):
+        sim, network, nodes, _ = overlay
+        bring_all_online(sim, network, nodes, np.random.default_rng(3))
+        node = nodes[5]
+        victim = node.leafset.neighbour_cw()
+        key = victim  # routes straight to the neighbour while it lives
+        assert node._next_hop(key) == victim
+        node.routing_table.remove(victim)
+        node.leafset.remove(victim)
+        # The stale decision must not survive the leafset change.
+        assert node._next_hop(key) != victim
+        assert node._next_hop(key) == node._compute_next_hop(key)
+
+    def test_disabled_cache_stays_empty(self, overlay):
+        sim, network, nodes, _ = overlay
+        node = nodes[0]
+        node._route_cache_enabled = False
+        bring_all_online(sim, network, nodes, np.random.default_rng(3))
+        assert node._route_cache == {}

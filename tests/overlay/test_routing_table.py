@@ -90,3 +90,47 @@ class TestPrefixProperty:
         row = common_prefix_len(owner, key, 4)
         for candidate in table.closer_candidates(key):
             assert common_prefix_len(owner, candidate, 4) >= row
+
+
+class TestVersionCounter:
+    def test_add_bumps_version_only_on_store(self):
+        rng = np.random.default_rng(11)
+        table = RoutingTable(OWNER)
+        node = random_id(rng)
+        before = table.version
+        assert table.add(node)
+        assert table.version == before + 1
+        # Second add hits an occupied slot: no mutation, no bump.
+        assert not table.add(node)
+        assert table.version == before + 1
+
+    def test_replace_bumps_only_on_change(self):
+        table = RoutingTable(OWNER)
+        node = 0x1 << 120
+        table.replace(node)
+        version = table.version
+        table.replace(node)  # same value in the same slot
+        assert table.version == version
+
+    def test_remove_bumps_only_when_present(self):
+        rng = np.random.default_rng(12)
+        table = RoutingTable(OWNER)
+        node = random_id(rng)
+        table.add(node)
+        version = table.version
+        assert table.remove(node)
+        assert table.version == version + 1
+        assert not table.remove(node)
+        assert table.version == version + 1
+
+    def test_slot_cache_survives_clearing(self):
+        # Force the bounded slot memo to overflow and verify lookups
+        # still resolve correctly afterwards.
+        rng = np.random.default_rng(13)
+        table = RoutingTable(OWNER)
+        nodes = [random_id(rng) for _ in range(RoutingTable.SLOT_CACHE_MAX + 50)]
+        for node in nodes:
+            table.add(node)
+        for node in nodes[:50]:
+            if node in table:
+                assert table.lookup(node) == node

@@ -1,0 +1,384 @@
+"""Property tests: ``body_size()`` equals a real encoding's byte length.
+
+The simulator never serializes payloads — :mod:`repro.proto.codec` is
+pure size arithmetic — so the invariant that keeps the byte accounting
+honest is *encodability*: for every registered message kind there must
+exist an actual byte encoding, following the documented field layout,
+whose length is exactly ``body_size()``.  These tests implement that
+reference encoder and let Hypothesis drive it with arbitrary field
+values for all 20 registered kinds.
+
+If a message class adds a field without extending its ``body_size()``
+(or vice versa), the reference encoding and the arithmetic diverge and
+the property fails.
+"""
+
+import struct
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.query import QueryDescriptor
+from repro.proto import codec
+from repro.proto.messages import (
+    ActiveReq,
+    ActiveResp,
+    Bcast,
+    BcastAck,
+    Cancel,
+    JoinReply,
+    JoinRequest,
+    LeafsetAnnounce,
+    LeafsetProbe,
+    LeafsetState,
+    MetaPush,
+    PredictorResult,
+    PredictorUpdate,
+    QueryInject,
+    ResultAck,
+    ResultSubmit,
+    RouteAck,
+    RouteEnvelope,
+    StatusPush,
+    VertexRepl,
+)
+from repro.proto.registry import registered_kinds
+
+# ----------------------------------------------------------------------
+# Reference encoding primitives (mirror the codec glossary)
+# ----------------------------------------------------------------------
+
+
+def enc_id(value: int) -> bytes:
+    """One 128-bit overlay id / namespace key."""
+    return value.to_bytes(codec.ID, "big")
+
+
+def enc_tag(value) -> bytes:
+    """One small scalar: version, count, flag word, or timestamp."""
+    if isinstance(value, float):
+        return struct.pack("!d", value)
+    return int(value).to_bytes(codec.TAG, "big", signed=True)
+
+
+def enc_sql(sql: str) -> bytes:
+    """Query text (the codec charges one byte per character)."""
+    return sql.encode("ascii")
+
+
+def enc_descriptor(descriptor: QueryDescriptor) -> bytes:
+    """QUERY_FIXED layout: queryId, origin, injected-at, lifetime + SQL."""
+    return (
+        enc_id(descriptor.query_id)
+        + enc_id(descriptor.origin)
+        + struct.pack("!dd", descriptor.injected_at, descriptor.lifetime)
+        + enc_sql(descriptor.sql)
+    )
+
+
+def enc_agg_state(state) -> bytes:
+    """One aggregate state: function tag + accumulator, padded to AGG_STATE."""
+    return struct.pack("!d", float(state)).ljust(codec.AGG_STATE, b"\x00")
+
+
+def enc_row(row) -> bytes:
+    """One replicated result row, padded to ROW."""
+    return struct.pack("!d", float(row)).ljust(codec.ROW, b"\x00")
+
+
+def enc_result_states(payload: dict) -> bytes:
+    return b"".join(enc_agg_state(state) for state in payload["states"])
+
+
+class SizedBlob:
+    """Stand-in for nested objects the codec treats as opaque sized blobs
+    (predictors, query results, metadata records)."""
+
+    def __init__(self, size: int) -> None:
+        self._size = size
+
+    def wire_size(self) -> int:
+        return self._size
+
+    def encode(self) -> bytes:
+        return b"\x00" * self._size
+
+
+# ----------------------------------------------------------------------
+# Strategies
+# ----------------------------------------------------------------------
+
+overlay_ids = st.integers(min_value=0, max_value=(1 << (8 * codec.ID)) - 1)
+versions = st.integers(min_value=0, max_value=2**31)
+times = st.floats(
+    min_value=0.0, max_value=1e9, allow_nan=False, allow_infinity=False
+)
+sql_texts = st.text(
+    alphabet=st.characters(min_codepoint=32, max_codepoint=126), max_size=200
+)
+blobs = st.builds(SizedBlob, st.integers(min_value=0, max_value=4096))
+
+descriptors = st.builds(
+    QueryDescriptor,
+    query_id=overlay_ids,
+    sql=sql_texts,
+    now_binding=st.none() | times,
+    origin=overlay_ids,
+    injected_at=times,
+    lifetime=times,
+)
+
+result_payloads = st.fixed_dictionaries(
+    {
+        "states": st.lists(times, max_size=8),
+        "rows": st.lists(times, max_size=8),
+    }
+)
+
+
+# ----------------------------------------------------------------------
+# Per-kind (strategy, reference encoder) table
+# ----------------------------------------------------------------------
+
+
+def _encode_route_envelope(msg: RouteEnvelope) -> bytes:
+    payload = b"\x00" * msg.app_size
+    if msg.direct:
+        return payload + enc_id(msg.key)
+    return payload + enc_id(msg.key) + enc_id(msg.origin)
+
+
+def _encode_join_request(msg: JoinRequest) -> bytes:
+    # Joiner id + the routed target key + one id per recorded hop.
+    return (
+        enc_id(msg.joiner)
+        + enc_id(msg.joiner)
+        + b"".join(enc_id(hop) for hop in msg.path)
+    )
+
+
+def _encode_join_reply(msg: JoinReply) -> bytes:
+    # Leafset + routing rows + the replying node's own id.
+    return (
+        b"".join(enc_id(member) for member in msg.leafset)
+        + b"".join(enc_id(entry) for entry in msg.routing)
+        + enc_id(0)
+    )
+
+
+def _encode_result_submit(msg: ResultSubmit) -> bytes:
+    encoded = (
+        enc_id(msg.descriptor.query_id)
+        + enc_id(msg.vertex_id)
+        + enc_id(msg.contributor)
+        + enc_id(msg.submitter)
+        + enc_sql(msg.descriptor.sql)
+    )
+    if not msg.reroute:
+        encoded += enc_result_states(msg.result)
+    return encoded
+
+
+def _encode_vertex_repl(msg: VertexRepl) -> bytes:
+    encoded = enc_id(msg.vertex_id) + enc_id(msg.primary)
+    for _version, payload in msg.children.values():
+        encoded += enc_id(0) + enc_result_states(payload)
+        encoded += b"".join(enc_row(row) for row in payload["rows"])
+    return encoded + enc_sql(msg.descriptor.sql)
+
+
+def _encode_active_resp(msg: ActiveResp) -> bytes:
+    return (
+        enc_id(0)
+        + b"".join(enc_descriptor(d) for d in msg.active)
+        + b"".join(enc_id(q) for q in msg.cancelled)
+    )
+
+
+CASES: dict[str, tuple] = {
+    RouteEnvelope.KIND: (
+        st.builds(
+            RouteEnvelope,
+            key=overlay_ids,
+            app_kind=st.just("X"),
+            app_payload=st.none(),
+            app_size=st.integers(min_value=0, max_value=4096),
+            hops=st.integers(min_value=0, max_value=64),
+            origin=overlay_ids,
+            direct=st.booleans(),
+        ),
+        _encode_route_envelope,
+    ),
+    RouteAck.KIND: (st.builds(RouteAck, msg_id=versions), lambda msg: b""),
+    JoinRequest.KIND: (
+        st.builds(
+            JoinRequest, joiner=overlay_ids, path=st.lists(overlay_ids, max_size=16)
+        ),
+        _encode_join_request,
+    ),
+    JoinReply.KIND: (
+        st.builds(
+            JoinReply,
+            leafset=st.lists(overlay_ids, max_size=16),
+            routing=st.lists(overlay_ids, max_size=32),
+            path=st.lists(overlay_ids, max_size=16),
+        ),
+        _encode_join_reply,
+    ),
+    LeafsetAnnounce.KIND: (
+        st.builds(LeafsetAnnounce, joiner=overlay_ids),
+        lambda msg: enc_id(msg.joiner),
+    ),
+    LeafsetState.KIND: (
+        st.builds(LeafsetState, members=st.lists(overlay_ids, max_size=16)),
+        lambda msg: b"".join(enc_id(member) for member in msg.members),
+    ),
+    LeafsetProbe.KIND: (st.builds(LeafsetProbe), lambda msg: b""),
+    QueryInject.KIND: (
+        st.builds(QueryInject, descriptor=descriptors),
+        lambda msg: enc_descriptor(msg.descriptor),
+    ),
+    Bcast.KIND: (
+        st.builds(
+            Bcast,
+            descriptor=descriptors,
+            lo=overlay_ids,
+            hi=overlay_ids,
+            parent=st.none() | overlay_ids,
+        ),
+        lambda msg: (
+            enc_descriptor(msg.descriptor)
+            + enc_id(msg.lo)
+            + enc_id(msg.hi)
+            + enc_tag(0 if msg.parent is None else 1)
+        ),
+    ),
+    BcastAck.KIND: (
+        st.builds(BcastAck, query_id=overlay_ids, lo=overlay_ids, hi=overlay_ids),
+        lambda msg: (
+            enc_id(msg.lo) + enc_id(msg.hi) + enc_id(msg.query_id) + enc_tag(0)
+        ),
+    ),
+    PredictorUpdate.KIND: (
+        st.builds(
+            PredictorUpdate,
+            query_id=overlay_ids,
+            lo=overlay_ids,
+            hi=overlay_ids,
+            predictor=blobs,
+        ),
+        lambda msg: (
+            msg.predictor.encode()
+            + enc_id(msg.lo)
+            + enc_id(msg.hi)
+            + enc_id(msg.query_id)
+            + enc_tag(0)
+        ),
+    ),
+    PredictorResult.KIND: (
+        st.builds(PredictorResult, query_id=overlay_ids, predictor=blobs),
+        lambda msg: msg.predictor.encode() + enc_id(msg.query_id) + enc_tag(0),
+    ),
+    ResultSubmit.KIND: (
+        st.builds(
+            ResultSubmit,
+            descriptor=descriptors,
+            vertex_id=overlay_ids,
+            contributor=overlay_ids,
+            submitter=overlay_ids,
+            version=versions,
+            result=result_payloads,
+            reroute=st.booleans(),
+        ),
+        _encode_result_submit,
+    ),
+    ResultAck.KIND: (
+        st.builds(
+            ResultAck,
+            query_id=overlay_ids,
+            vertex_id=overlay_ids,
+            contributor=overlay_ids,
+            version=versions,
+        ),
+        lambda msg: (
+            enc_id(msg.query_id)
+            + enc_id(msg.vertex_id)
+            + enc_tag(msg.contributor % 2**31)
+            + enc_tag(msg.version)
+        ),
+    ),
+    VertexRepl.KIND: (
+        st.builds(
+            VertexRepl,
+            descriptor=descriptors,
+            vertex_id=overlay_ids,
+            primary=overlay_ids,
+            up_version=versions,
+            children=st.dictionaries(
+                st.integers(min_value=0, max_value=2**32).map(str),
+                st.tuples(versions, result_payloads),
+                max_size=8,
+            ),
+        ),
+        _encode_vertex_repl,
+    ),
+    MetaPush.KIND: (
+        st.builds(
+            MetaPush,
+            metadata=blobs,
+            owner_online=st.booleans(),
+            down_since=st.none() | times,
+            beacon_bytes=st.none() | st.integers(min_value=0, max_value=256),
+        ),
+        lambda msg: (
+            b"\x00" * msg.beacon_bytes
+            if msg.beacon_bytes is not None
+            else msg.metadata.encode()
+        ),
+    ),
+    ActiveReq.KIND: (
+        st.builds(ActiveReq, requester=overlay_ids),
+        lambda msg: enc_id(msg.requester),
+    ),
+    ActiveResp.KIND: (
+        st.builds(
+            ActiveResp,
+            active=st.lists(descriptors, max_size=6),
+            cancelled=st.lists(overlay_ids, max_size=16),
+        ),
+        _encode_active_resp,
+    ),
+    StatusPush.KIND: (
+        st.builds(StatusPush, query_id=overlay_ids, result=blobs, time=times),
+        lambda msg: msg.result.encode() + enc_id(msg.query_id) + enc_tag(msg.time),
+    ),
+    Cancel.KIND: (
+        st.builds(Cancel, query_id=overlay_ids),
+        lambda msg: enc_id(msg.query_id) + enc_tag(0),
+    ),
+}
+
+
+def test_every_registered_kind_has_a_case() -> None:
+    """Adding a message kind without a property case fails loudly here."""
+    kinds = set(registered_kinds())
+    assert kinds == set(CASES)
+    assert len(kinds) == 20
+
+
+@pytest.mark.parametrize("kind", sorted(CASES))
+@given(data=st.data())
+@settings(max_examples=50, deadline=None)
+def test_body_size_matches_encoded_length(kind: str, data) -> None:
+    strategy, encode = CASES[kind]
+    message = data.draw(strategy)
+    assert message.body_size() == len(encode(message))
+
+
+@given(data=st.data())
+@settings(max_examples=50, deadline=None)
+def test_body_size_is_nonnegative(data) -> None:
+    kind = data.draw(st.sampled_from(sorted(CASES)))
+    strategy, _encode = CASES[kind]
+    message = data.draw(strategy)
+    assert message.body_size() >= 0

@@ -93,6 +93,117 @@ class TestCancellation:
         sim.drain_cancelled()
         assert sim.pending_events == 10
 
+    def test_pending_events_excludes_cancelled(self):
+        sim = Simulator()
+        handles = [sim.schedule(float(i + 1), lambda: None) for i in range(10)]
+        handles[3].cancel()
+        handles[7].cancel()
+        assert sim.pending_events == 8
+        assert sim.cancelled_events == 2
+
+    def test_cancelled_gauge_drains_on_pop(self):
+        # The lazy-deletion tombstones must be reclaimed as the loop
+        # passes them, not accumulate for the whole run.
+        sim = Simulator()
+        fired = []
+        for i in range(20):
+            handle = sim.schedule(float(i + 1), fired.append, i)
+            if i % 2 == 0:
+                handle.cancel()
+        assert sim.cancelled_events == 10
+        sim.run_until(50.0)
+        assert sim.cancelled_events == 0
+        assert fired == [i for i in range(20) if i % 2 == 1]
+
+    def test_cancelled_gauge_drains_via_compaction(self):
+        sim = Simulator()
+        handles = [sim.schedule(float(i + 1), lambda: None) for i in range(100)]
+        for handle in handles:
+            handle.cancel()
+        # Auto-compaction triggers once tombstones pass the threshold and
+        # outnumber live entries; no events need to fire for it to run.
+        # (Cancellations after a drain re-accumulate up to the threshold,
+        # so the resident count is bounded, not zero.)
+        assert sim.pending_events == 0
+        assert sim.cancelled_events <= Simulator.COMPACT_MIN_CANCELLED
+
+    def test_drain_cancelled_resets_gauge(self):
+        sim = Simulator()
+        handles = [sim.schedule(float(i + 1), lambda: None) for i in range(10)]
+        for handle in handles[:4]:
+            handle.cancel()
+        sim.drain_cancelled()
+        assert sim.cancelled_events == 0
+        assert sim.pending_events == 6
+        sim.run()
+        assert sim.pending_events == 0
+
+
+class TestTimerWheel:
+    def test_wheel_and_heap_fire_identically(self):
+        # Wheel placement must be invisible: same schedule, same order.
+        def drive(timer_wheel):
+            sim = Simulator(timer_wheel=timer_wheel)
+            fired = []
+            # A mix of near-term (sub-second) and far-out (wheel-bound)
+            # events, including same-instant ties across the two tiers.
+            for i in range(5):
+                sim.schedule(0.1 * i, fired.append, ("near", i))
+                sim.schedule(30.0 + i, fired.append, ("far", i))
+                sim.schedule(30.0, fired.append, ("tie", i))
+            sim.run()
+            return fired
+
+        assert drive(True) == drive(False)
+
+    def test_far_events_park_in_wheel(self):
+        sim = Simulator()
+        sim.schedule(45.0, lambda: None)
+        sim.schedule(60.0, lambda: None)
+        assert sim.pending_events == 2
+        assert len(sim._queue) == 0  # both parked, no heap churn yet
+
+    def test_callback_scheduling_into_cascaded_region_fires(self):
+        # An event scheduled *during* the run into an already-cascaded
+        # bucket must go straight to the heap and still fire in order.
+        sim = Simulator()
+        fired = []
+        sim.schedule(40.0, lambda: sim.schedule(0.0, fired.append, "same-instant"))
+        sim.schedule(40.0, fired.append, "sibling")
+        sim.run()
+        assert fired == ["sibling", "same-instant"]
+
+    def test_cancelled_wheel_entries_never_reach_heap(self):
+        sim = Simulator()
+        fired = []
+        handle = sim.schedule(90.0, fired.append, "dead")
+        sim.schedule(91.0, fired.append, "live")
+        handle.cancel()
+        assert sim.cancelled_events == 1
+        sim.run()
+        assert fired == ["live"]
+        assert sim.cancelled_events == 0
+
+    def test_periodic_timer_rides_the_wheel(self):
+        sim = Simulator(timer_wheel=True)
+        fired = []
+        timer = sim.schedule_periodic(30.0, lambda: fired.append(sim.now))
+        sim.run_until(100.0)
+        timer.cancel()
+        assert fired == [30.0, 60.0, 90.0]
+
+    def test_drain_cancelled_compacts_wheel_buckets(self):
+        sim = Simulator()
+        handles = [sim.schedule(100.0 + i, lambda: None) for i in range(10)]
+        for handle in handles[:6]:
+            handle.cancel()
+        sim.drain_cancelled()
+        assert sim.pending_events == 4
+        assert sim.cancelled_events == 0
+        # The emptied buckets' stale indices must not break cascading.
+        fired = sim.run()
+        assert fired == 4
+
 
 class TestRunUntil:
     def test_run_until_stops_at_boundary(self):

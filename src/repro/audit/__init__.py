@@ -1,0 +1,34 @@
+"""Ground-truth conformance auditing for Seaweed deployments.
+
+:mod:`repro.audit` runs an omniscient oracle alongside any simulation:
+it snapshots every endsystem's true query-relevant rows at injection
+time, watches availability transitions and local contributions through
+read-only hooks, and checks that what the aggregation tree streams to
+the root is a subset-merge of true contributions with each endsystem
+counted at most once — and that the final aggregate exactly equals the
+truth over every endsystem that learned the query while online.
+
+Attach with :meth:`repro.core.system.SeaweedSystem.enable_audit`; the
+oracle never schedules events or draws randomness, so an audited run is
+event-for-event identical to an unaudited one.
+"""
+
+from repro.audit.oracle import (
+    AUDIT_CONTRIBUTION_BOUND,
+    AUDIT_FINAL_EQUALITY,
+    AUDIT_GROUP_MISMATCH,
+    AUDIT_VALUE_MISMATCH,
+    AuditViolation,
+    GroundTruthOracle,
+    QueryAudit,
+)
+
+__all__ = [
+    "AUDIT_CONTRIBUTION_BOUND",
+    "AUDIT_FINAL_EQUALITY",
+    "AUDIT_GROUP_MISMATCH",
+    "AUDIT_VALUE_MISMATCH",
+    "AuditViolation",
+    "GroundTruthOracle",
+    "QueryAudit",
+]

@@ -7,6 +7,7 @@ Subcommands::
     seaweed-repro predict [--sql --population]    completeness prediction
     seaweed-repro run     [--population --hours]  packet-level deployment
     seaweed-repro chaos   [--scenario --seed]     fault-injection campaign
+    seaweed-repro audit   [--scenario --seed]     chaos under the truth oracle
     seaweed-repro perf    [--scenario --out]      perf bench (BENCH_sim.json)
 
 Every subcommand prints plain-text tables via the reporting helpers and
@@ -260,6 +261,70 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_audit(args: argparse.Namespace) -> int:
+    from repro.faults import builtin_scenarios, report_to_json, run_campaign
+    from repro.harness.reporting import format_table
+
+    available = builtin_scenarios()
+    if args.scenario == "all":
+        selected = list(available.values())
+    elif args.scenario in available:
+        selected = [available[args.scenario]]
+    else:
+        names = ", ".join(sorted(available))
+        print(f"unknown scenario {args.scenario!r} (choose from: all, {names})")
+        return 2
+
+    print(
+        f"running audited chaos campaign: {len(selected)} scenario(s) "
+        f"under the ground-truth oracle, seed {args.seed}..."
+    )
+    report = run_campaign(
+        selected, master_seed=args.seed, population=args.population, audit=True
+    )
+    rows = []
+    for name, section in sorted(report["scenarios"].items()):
+        audit_section = section["audit"]
+        queries = audit_section["queries"].values()
+        truth = sum(q["truth_rows_contributed"] for q in queries)
+        final = sum(q["root_rows_final"] for q in queries)
+        calibration = [
+            q["calibration"]["final_error"]
+            for q in queries
+            if q["calibration"] is not None
+        ]
+        rows.append(
+            (
+                name,
+                f"{section['faults_injected']}",
+                f"{final}/{truth}",
+                f"{calibration[0]:+.3f}" if calibration else "-",
+                f"{audit_section['violation_count']}",
+            )
+        )
+    print(format_table(
+        ["scenario", "faults", "root/truth rows", "calib err", "violations"],
+        rows,
+        title="Ground-truth conformance audit",
+    ))
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as handle:
+            handle.write(report_to_json(report))
+        print(f"report written to {args.out}")
+    if not report["ok"]:
+        for section in report["scenarios"].values():
+            for violation in section["violations"]:
+                label = violation.get("invariant") or violation.get("check")
+                print(f"VIOLATION [{section['name']}] {label}: "
+                      f"{violation['detail']}")
+            for violation in section["audit"]["violations"]:
+                print(f"AUDIT VIOLATION [{section['name']}] "
+                      f"{violation['check']}: {violation['detail']}")
+        return 1
+    print("all conformance checks held")
+    return 0
+
+
 def _cmd_perf(args: argparse.Namespace) -> int:
     from repro.harness.perfbench import (
         SCENARIOS,
@@ -387,6 +452,25 @@ def build_parser() -> argparse.ArgumentParser:
         help="write the JSON campaign report to FILE",
     )
     chaos.set_defaults(func=_cmd_chaos)
+
+    audit = sub.add_parser(
+        "audit",
+        help="chaos campaign with the ground-truth conformance oracle attached",
+    )
+    audit.add_argument(
+        "--scenario", default="all",
+        help="scenario name, or 'all' (default) for the full campaign",
+    )
+    audit.add_argument("--seed", type=int, default=0)
+    audit.add_argument(
+        "--population", type=int, default=None,
+        help="override every scenario's endsystem population",
+    )
+    audit.add_argument(
+        "--out", metavar="FILE", default=None,
+        help="write the JSON campaign+audit report to FILE",
+    )
+    audit.set_defaults(func=_cmd_audit)
 
     perf = sub.add_parser(
         "perf", help="seeded simulator performance bench (BENCH_sim.json)"

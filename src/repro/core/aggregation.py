@@ -153,10 +153,17 @@ class VertexState:
         return merged
 
     def wire_size(self) -> int:
-        """Approximate replication payload size."""
+        """Approximate replication payload size.
+
+        Counts the ungrouped aggregate-state vector, materialized rows,
+        and — per GROUP BY group — the group key plus its state vector,
+        mirroring :meth:`repro.db.executor.QueryResult.wire_size`.
+        """
         size = 32
         for _, payload in self.children.values():
             size += 16 + 8 * len(payload["states"]) * 4 + 32 * len(payload["rows"])
+            for states in payload.get("groups", {}).values():
+                size += 16 + 8 * len(states) * 4
         return size
 
 
@@ -169,6 +176,10 @@ class PendingSubmission:
     version: int
     payload: dict
     descriptor: QueryDescriptor
+    #: Retransmissions so far (only read when backoff is enabled).
+    attempts: int = 0
+    #: Earliest sim time the next retransmit may fire (backoff only).
+    next_retry_at: float = 0.0
 
 
 class ResultAggregator:
@@ -214,6 +225,11 @@ class ResultAggregator:
         payload = result_to_payload(result)
         version = self._leaf_versions.get(descriptor.query_id, 0) + 1
         self._leaf_versions[descriptor.query_id] = version
+        auditor = self.node.auditor
+        if auditor is not None:
+            auditor.on_local_contribution(
+                self.node.sim.now, self.node.node_id, descriptor, version, result
+            )
         if target == descriptor.query_id and self.node.pastry.is_closest_to(target):
             # We are the root: feed our contribution into the root vertex.
             self._apply_submission(
@@ -266,12 +282,29 @@ class ResultAggregator:
     def _retransmit_sweep(self) -> None:
         if not self.node.pastry.online:
             return
+        config = self.node.config
+        backoff = config.retransmit_backoff
         now = self.node.sim.now
         expired = []
         for key, pending in self._pending.items():
             if now > pending.descriptor.expires_at:
                 expired.append(key)
                 continue
+            if backoff:
+                # Capped exponential backoff: the sweep still runs every
+                # period, but a pending submission is only re-sent once
+                # its due time passes, so a long partition costs
+                # O(log) retransmits per submission instead of one per
+                # period (no retransmit storm at heal time).
+                if now < pending.next_retry_at:
+                    continue
+                pending.attempts += 1
+                interval = min(
+                    config.result_retransmit
+                    * (config.retransmit_backoff_factor ** pending.attempts),
+                    config.retransmit_backoff_cap,
+                )
+                pending.next_retry_at = now + interval
             self._transmit(
                 pending.descriptor,
                 pending.vertex_id,
@@ -328,6 +361,10 @@ class ResultAggregator:
         result_payload: dict,
     ) -> None:
         key = (descriptor.query_id, vertex_id)
+        # Register the descriptor: a primary can be handed a submission
+        # for a query it never saw disseminated (it joined late), and
+        # expiry sweeps resolve descriptors through known_query().
+        self.node.remember_query(descriptor)
         state = self._vertices.get(key)
         if state is None:
             # Adopt any backup state we hold for this vertex (failover).
@@ -497,14 +534,25 @@ class ResultAggregator:
             self._after_state_change(descriptor, key)
 
     def expire(self, now: float) -> None:
-        """Drop state belonging to expired queries."""
+        """Drop state belonging to expired, cancelled, or unknown queries.
+
+        Both the primary and the backup tables are swept.  State whose
+        query descriptor cannot be resolved through ``known_query()`` is
+        unservable — no expiry time, no re-replication target — and every
+        code path that installs state also registers its descriptor, so
+        a ``None`` descriptor means the state is orphaned and must be
+        collected rather than kept forever.
+        """
         for table in (self._vertices, self._backups):
-            stale = [
-                key
-                for key in table
-                if (descriptor := self.node.known_query(key[0])) is not None
-                and now > descriptor.expires_at
-            ]
+            stale = []
+            for key in table:
+                descriptor = self.node.known_query(key[0])
+                if (
+                    descriptor is None
+                    or now > descriptor.expires_at
+                    or self.node.is_cancelled(key[0])
+                ):
+                    stale.append(key)
             for key in stale:
                 del table[key]
 

@@ -75,6 +75,19 @@ class SeaweedConfig:
     #: state lost to correlated failures is repaired.
     result_refresh_period: float = 900.0
 
+    #: Result tree: capped exponential backoff for unacknowledged
+    #: submissions.  Off by default — the fixed-period path is
+    #: bit-identical to the seed tree; turn it on to avoid retransmit
+    #: storms under long partitions (each pending submission is re-sent
+    #: at ``result_retransmit * factor^attempts`` seconds, capped).
+    retransmit_backoff: bool = False
+
+    #: Backoff multiplier per retransmission attempt.
+    retransmit_backoff_factor: float = 2.0
+
+    #: Upper bound on the interval between retransmits (seconds).
+    retransmit_backoff_cap: float = 160.0
+
     #: Originator: retry interval for re-requesting a completeness
     #: predictor that has not arrived (reissues the idempotent inject).
     predictor_retry_interval: float = 15.0
@@ -107,3 +120,9 @@ class SeaweedConfig:
             raise ValueError("vertex_backups must be >= 0")
         if self.summary_push_period <= 0:
             raise ValueError("summary_push_period must be positive")
+        if self.retransmit_backoff_factor <= 1.0:
+            raise ValueError("retransmit_backoff_factor must exceed 1")
+        if self.retransmit_backoff_cap < self.result_retransmit:
+            raise ValueError(
+                "retransmit_backoff_cap must be >= result_retransmit"
+            )

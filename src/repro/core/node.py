@@ -25,6 +25,7 @@ from typing import TYPE_CHECKING, Any, Optional
 import numpy as np
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.audit.oracle import GroundTruthOracle
     from repro.obs.observer import Observer
 
 from repro.core.aggregation import ResultAggregator
@@ -88,6 +89,10 @@ class SeaweedNode:
         #: Active observer or None — protocol engines reach it via
         #: ``node._obs`` and guard with a bare ``is not None`` check.
         self._obs = observer if (observer is not None and observer.enabled) else None
+        #: Ground-truth conformance oracle (:mod:`repro.audit`), attached
+        #: by ``SeaweedSystem.enable_audit()``.  ``None`` — the default —
+        #: keeps every hook to a single attribute check (zero-cost-off).
+        self.auditor: Optional["GroundTruthOracle"] = None
         self.availability = AvailabilityModel(
             num_down_buckets=config.down_duration_buckets,
             periodic_threshold=config.periodic_threshold,
@@ -361,6 +366,8 @@ class SeaweedNode:
             self._obs.query_issued(
                 self.sim.now, descriptor.query_id, self.node_id, descriptor.sql
             )
+        if self.auditor is not None:
+            self.auditor.on_query_injected(descriptor)
         self.query_statuses[descriptor.query_id] = QueryStatus(descriptor)
         self.disseminator.inject(descriptor)
         self._schedule_predictor_retry(descriptor, attempt=1)
@@ -475,7 +482,12 @@ class SeaweedNode:
 
     def remember_query(self, descriptor: QueryDescriptor) -> None:
         """Record an active query (rejoining neighbours will ask for these)."""
-        self.known_queries.setdefault(descriptor.query_id, descriptor)
+        if descriptor.query_id not in self.known_queries:
+            self.known_queries[descriptor.query_id] = descriptor
+            if self.auditor is not None and self.pastry.online:
+                self.auditor.on_query_learned(
+                    self.sim.now, self.node_id, descriptor.query_id
+                )
 
     def known_query(self, query_id: int) -> Optional[QueryDescriptor]:
         """Look up a remembered query descriptor."""
@@ -545,6 +557,8 @@ class SeaweedNode:
         )
         status.result = merged
         status.record(self.sim.now)
+        if self.auditor is not None:
+            self.auditor.on_root_result(self.sim.now, self.node_id, descriptor, merged)
         if descriptor.origin != self.node_id:
             self.send_app(
                 descriptor.origin,

@@ -66,13 +66,20 @@ class CompletenessPredictor:
         self.endsystems += 1
 
     def add_at_delay(self, delay: float, rows: float, count_endsystem: bool = True) -> None:
-        """Rows expected to appear ``delay`` seconds after injection."""
+        """Rows expected to appear ``delay`` seconds after injection.
+
+        A delay at or below the first bucket edge (1 s) is beneath the
+        predictor's time resolution: the rows are counted as immediately
+        available, which keeps :meth:`cumulative_at` — whose lowest
+        readable point is ``immediate_rows`` for any sub-edge delay — in
+        exact agreement with what was added.
+        """
         if count_endsystem:
             self.endsystems += 1
         if rows <= 0:
             return
         if delay <= self.edges[0]:
-            self.bucket_rows[0] += rows
+            self.immediate_rows += rows
             return
         if delay > self.edges[-1]:
             self.beyond_rows += rows
@@ -132,9 +139,17 @@ class CompletenessPredictor:
         return float(self.immediate_rows + self.bucket_rows.sum() + self.beyond_rows)
 
     def cumulative_at(self, delay: float) -> float:
-        """Expected rows available within ``delay`` seconds of injection."""
+        """Expected rows available within ``delay`` seconds of injection.
+
+        At (or past) the horizon every bucket has fully arrived, so the
+        buckets are summed directly — ``cumulative_at(horizon)`` equals
+        ``expected_total - beyond_rows`` exactly, with no interpolation
+        round-off at the last edge.
+        """
         if delay < 0:
             return 0.0
+        if delay >= self.edges[-1]:
+            return float(self.immediate_rows + self.bucket_rows.sum())
         total = self.immediate_rows
         for bucket in range(len(self.bucket_rows)):
             if delay >= self.edges[bucket + 1]:

@@ -35,6 +35,7 @@ from repro.traces.availability import AvailabilitySchedule, TraceSet
 from repro.workload.anemone import AnemoneDataset
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.audit.oracle import GroundTruthOracle
     from repro.faults.injector import FaultInjector
     from repro.faults.plan import FaultPlan
 
@@ -155,6 +156,9 @@ class SeaweedSystem:
         self._by_id = {node.node_id: node for node in self.nodes}
 
         self.private_databases = private_databases
+        #: Ground-truth conformance oracle (:mod:`repro.audit`); attached
+        #: by :meth:`enable_audit`, ``None`` otherwise (zero-cost-off).
+        self.auditor: Optional["GroundTruthOracle"] = None
         self._online_log: list[tuple[float, int]] = [(0.0, 0)]
         self._schedule_transitions(startup_stagger)
         self.overlay.start_heartbeats(self.accounting)
@@ -165,6 +169,30 @@ class SeaweedSystem:
             from repro.faults.injector import FaultInjector
 
             self.fault_injector = FaultInjector(self, fault_plan)
+
+    def enable_audit(
+        self, observer: Optional[Observer] = None
+    ) -> "GroundTruthOracle":
+        """Attach a ground-truth conformance oracle (:mod:`repro.audit`).
+
+        The oracle observes the deployment through read-only hooks —
+        query injections, local contributions, root results, and
+        availability transitions — and never schedules events or draws
+        randomness, so an audited run is event-for-event identical to an
+        unaudited one.  Call before injecting the queries to audit;
+        finish with :meth:`~repro.audit.oracle.GroundTruthOracle.
+        finalize` to obtain the conformance report.
+        """
+        # Imported lazily: repro.audit depends on repro.core.
+        from repro.audit.oracle import GroundTruthOracle
+
+        oracle = GroundTruthOracle(
+            self, observer=observer if observer is not None else self.obs
+        )
+        self.auditor = oracle
+        for node in self.nodes:
+            node.auditor = oracle
+        return oracle
 
     # ------------------------------------------------------------------
     # Availability driving
@@ -189,6 +217,8 @@ class SeaweedSystem:
             if not node.pastry.online:
                 return
             node.go_offline()
+        if self.auditor is not None:
+            self.auditor.on_transition(self.sim.now, node.node_id, goes_up)
         self._online_log.append((self.sim.now, self.overlay.online_count))
 
     def force_transition(self, index: int, goes_up: bool) -> None:

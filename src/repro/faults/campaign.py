@@ -46,8 +46,16 @@ def run_scenario(
     scenario: ChaosScenario,
     master_seed: int = 0,
     dataset: Optional[AnemoneDataset] = None,
+    audit: bool = False,
 ) -> dict:
-    """Run one scenario and return its report section (a plain dict)."""
+    """Run one scenario and return its report section (a plain dict).
+
+    With ``audit=True`` a :class:`~repro.audit.oracle.GroundTruthOracle`
+    rides along: the report gains an ``"audit"`` section and the
+    scenario's ``violation_count`` includes conformance violations.  The
+    oracle's hooks are read-only, so the simulation itself (event
+    counts, byte totals, completeness) is unchanged either way.
+    """
     if dataset is None:
         dataset = _campaign_dataset(master_seed)
     seed = derive_seed(master_seed, f"chaos-{scenario.name}")
@@ -68,6 +76,7 @@ def run_scenario(
         observer=observer,
         fault_plan=scenario.plan,
     )
+    oracle = system.enable_audit(observer) if audit else None
     system.run_until(scenario.inject_at)
     _, descriptor = system.inject_query(
         scenario.query_sql, lifetime=scenario.query_lifetime
@@ -115,6 +124,10 @@ def run_scenario(
         "violation_count": len(violations),
         "violations": [violation.to_dict() for violation in violations],
     }
+    if oracle is not None:
+        audit_report = oracle.finalize()
+        report["audit"] = audit_report
+        report["violation_count"] += audit_report["violation_count"]
     observer.close()
     return report
 
@@ -123,12 +136,14 @@ def run_campaign(
     scenarios: Optional[Iterable[ChaosScenario]] = None,
     master_seed: int = 0,
     population: Optional[int] = None,
+    audit: bool = False,
 ) -> dict:
     """Run a set of scenarios (default: all built-ins) into one report.
 
     The report dict is deterministic for a given ``(master_seed,
     scenarios)`` and JSON-serializable as-is; ``population`` overrides
-    every scenario's population (the CLI's ``--population``).
+    every scenario's population (the CLI's ``--population``);
+    ``audit=True`` attaches the ground-truth oracle to every scenario.
     """
     if scenarios is None:
         scenarios = builtin_scenarios().values()
@@ -137,7 +152,9 @@ def run_campaign(
         scenarios = [scenario.scaled(population) for scenario in scenarios]
     dataset = _campaign_dataset(master_seed)
     sections = {
-        scenario.name: run_scenario(scenario, master_seed, dataset=dataset)
+        scenario.name: run_scenario(
+            scenario, master_seed, dataset=dataset, audit=audit
+        )
         for scenario in scenarios
     }
     total = sum(section["violation_count"] for section in sections.values())

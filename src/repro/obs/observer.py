@@ -62,6 +62,7 @@ class Observer:
             for reason in ("loss", "offline", "unregistered", "unknown_kind")
         }
         self._c_faults: dict[str, object] = {}
+        self._c_audit: dict[str, object] = {}
         self._c_batches = m.counter("transport.batches_flushed_total")
         self._c_coalesced = m.counter("transport.coalesced_messages_total")
         self._c_header_saved = m.counter("transport.header_bytes_saved_total")
@@ -195,6 +196,40 @@ class Observer:
         counter.inc()
         if self.tracer.enabled:
             self.tracer.event(t, "fault_injected", kind=kind, detail=detail)
+
+    def audit_violation(
+        self, t: float, check: str, query_id: int, detail: str
+    ) -> None:
+        """The ground-truth oracle observed a conformance violation."""
+        counter = self._c_audit.get(check)
+        if counter is None:
+            # Audit checks are few and named at run time; bind lazily
+            # like the fault-kind counters.
+            counter = self.metrics.counter("audit.violations_total", check=check)
+            self._c_audit[check] = counter
+        counter.inc()
+        if self.tracer.enabled:
+            self.tracer.event(
+                t, "audit_violation", check=check, query_id=_hx(query_id),
+                detail=detail,
+            )
+
+    def audit_calibration(
+        self, query_id: int, final_error: float, mean_abs_error: float
+    ) -> None:
+        """Predictor calibration for one audited query (gauges only).
+
+        ``final_error`` is signed (predicted minus realized completeness
+        at the audit end); ``mean_abs_error`` averages the absolute
+        claim-vs-realized gap over every streamed root result.
+        """
+        query = _hx(query_id)[:8]
+        self.metrics.gauge(
+            "audit.predictor_calibration_final_error", query=query
+        ).set(final_error)
+        self.metrics.gauge(
+            "audit.predictor_calibration_mean_abs_error", query=query
+        ).set(mean_abs_error)
 
     def endsystem_up(self, t: float, node: int) -> None:
         """An endsystem became available and is (re)joining."""

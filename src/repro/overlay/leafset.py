@@ -118,11 +118,21 @@ class Leafset:
         so the span effectively covers the namespace) or we are still
         converging — both are treated as covering, and the closest-member
         delivery plus stabilization then converge to the true root.
+
+        When the farthest member on both sides is the *same* node, the
+        population is no larger than the leafset: the set wraps the whole
+        ring and covers every key.  The span arithmetic degenerates there
+        (``lo == hi`` collapses the span to zero), which used to make the
+        true root of a key refuse local delivery and forward it by
+        routing-table prefix instead — two nodes could each pick the other
+        as next hop and ping-pong the message to the hop limit forever.
         """
         if len(self._cw) < self.half or len(self._ccw) < self.half:
             return True
         lo = self._ccw[-1]
         hi = self._cw[-1]
+        if lo == hi:
+            return True
         span = cw_distance(lo, hi)
         return cw_distance(lo, key) <= span
 

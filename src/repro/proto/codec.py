@@ -77,8 +77,20 @@ def descriptor_size(descriptor: "QueryDescriptor") -> int:
 
 
 def result_states_size(result_payload: dict) -> int:
-    """Size of the aggregate-state vector in a serialized query result."""
-    return AGG_STATE * len(result_payload["states"])
+    """Size of the aggregate-state vectors in a serialized query result.
+
+    Counts the ungrouped state vector plus, for each GROUP BY group, a
+    group key (one :data:`ID`) and the group's own state vector —
+    without the group term, GROUP BY replication traffic rides the wire
+    unaccounted.  Non-grouped payloads (``groups`` empty or absent) cost
+    exactly what the seed tree's hand arithmetic charged.
+    """
+    size = AGG_STATE * len(result_payload["states"])
+    groups = result_payload.get("groups")
+    if groups:
+        for states in groups.values():
+            size += ID + AGG_STATE * len(states)
+    return size
 
 
 def vertex_children_size(children: Iterable[tuple[int, dict]]) -> int:

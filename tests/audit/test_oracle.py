@@ -1,0 +1,179 @@
+"""The ground-truth oracle: conformance on clean runs, detection on bad ones.
+
+A stable deployment audited end to end must produce zero violations with
+the final root aggregate exactly equal to the oracle's truth — and the
+oracle must actually *fire* when fed a double-counted or corrupted
+result, otherwise a clean report proves nothing.
+"""
+
+import pytest
+
+from repro.audit import (
+    AUDIT_CONTRIBUTION_BOUND,
+    AUDIT_FINAL_EQUALITY,
+    AUDIT_VALUE_MISMATCH,
+    GroundTruthOracle,
+)
+from repro.core import SeaweedSystem
+from repro.db.aggregates import AggregateState
+from repro.db.executor import QueryResult
+from repro.obs import Observer
+from repro.traces import AvailabilitySchedule, TraceSet
+from repro.workload import QUERY_HTTP_BYTES
+
+HORIZON = 2 * 3600.0
+
+
+def build_system(small_dataset, count=16, seed=31, observer=None):
+    schedules = [AvailabilitySchedule.always_on(HORIZON) for _ in range(count)]
+    trace = TraceSet(schedules, HORIZON)
+    system = SeaweedSystem(
+        trace, small_dataset, num_endsystems=count, master_seed=seed,
+        startup_stagger=15.0, observer=observer,
+    )
+    return system
+
+
+@pytest.fixture(scope="module")
+def audited_run(small_dataset):
+    observer = Observer()
+    system = build_system(small_dataset, observer=observer)
+    oracle = system.enable_audit(observer)
+    system.run_until(120.0)
+    _, descriptor = system.inject_query(QUERY_HTTP_BYTES)
+    system.run_until(300.0)
+    report = oracle.finalize()
+    return system, oracle, descriptor, report
+
+
+class TestCleanRunConformance:
+    def test_no_violations(self, audited_run):
+        _, oracle, _, report = audited_run
+        assert report["ok"]
+        assert report["violations"] == []
+        assert oracle.violations == []
+
+    def test_final_root_equals_truth(self, audited_run):
+        system, _, descriptor, report = audited_run
+        section = report["queries"][format(descriptor.query_id, "032x")]
+        truth = system.ground_truth_rows(descriptor.sql, descriptor.now_binding)
+        assert section["truth_rows_population"] == truth
+        assert section["truth_rows_contributed"] == truth
+        assert section["root_rows_final"] == truth
+        assert section["contributors"] == len(system.nodes)
+
+    def test_truth_snapshot_covers_every_endsystem(self, audited_run):
+        system, oracle, descriptor, _ = audited_run
+        audit = oracle.audits[descriptor.query_id]
+        assert set(audit.truth_results) == {n.node_id for n in system.nodes}
+
+    def test_calibration_exported(self, audited_run):
+        _, _, descriptor, report = audited_run
+        section = report["queries"][format(descriptor.query_id, "032x")]
+        calibration = section["calibration"]
+        assert calibration is not None
+        assert calibration["samples"] == section["root_flushes"] > 0
+        assert calibration["final_realized"] == pytest.approx(1.0)
+        # Everyone is online, so the predictor's claim is near-exact.
+        assert abs(calibration["final_error"]) < 0.05
+
+    def test_finalize_idempotent(self, audited_run):
+        _, oracle, _, report = audited_run
+        assert oracle.finalize() is report
+
+    def test_audit_does_not_perturb_the_simulation(self, small_dataset):
+        plain = build_system(small_dataset, count=12, seed=57)
+        audited = build_system(small_dataset, count=12, seed=57)
+        audited.enable_audit()
+        for system in (plain, audited):
+            system.run_until(120.0)
+        _, d_plain = plain.inject_query(QUERY_HTTP_BYTES)
+        _, d_audited = audited.inject_query(QUERY_HTTP_BYTES)
+        for system in (plain, audited):
+            system.run_until(240.0)
+        assert plain.sim.events_processed == audited.sim.events_processed
+        assert (
+            plain.status_of(d_plain).rows_processed
+            == audited.status_of(d_audited).rows_processed
+        )
+
+
+class TestViolationDetection:
+    def _fresh_oracle(self, small_dataset, seed):
+        observer = Observer()
+        system = build_system(small_dataset, count=8, seed=seed, observer=observer)
+        oracle = system.enable_audit(observer)
+        system.run_until(120.0)
+        _, descriptor = system.inject_query(QUERY_HTTP_BYTES)
+        system.run_until(600.0)
+        return system, oracle, descriptor, observer
+
+    def test_double_count_trips_contribution_bound(self, small_dataset):
+        system, oracle, descriptor, observer = self._fresh_oracle(small_dataset, 61)
+        audit = oracle.audits[descriptor.query_id]
+        truth = audit.contributed_truth_rows()
+        inflated = QueryResult(row_count=truth + 7)
+        oracle.on_root_result(
+            system.sim.now, system.nodes[0].node_id, descriptor, inflated
+        )
+        checks = [violation.check for violation in oracle.violations]
+        assert AUDIT_CONTRIBUTION_BOUND in checks
+        # The over-count also breaks final equality once finalized.
+        report = oracle.finalize()
+        assert not report["ok"]
+        finals = [v["check"] for v in report["violations"]]
+        assert AUDIT_FINAL_EQUALITY in finals
+        # The violation reached the metrics registry through the observer.
+        snapshot = observer.metrics.snapshot()["counters"]
+        assert any(
+            "audit.violations_total" in name and snapshot[name] >= 1
+            for name in snapshot
+        )
+
+    def test_corrupted_aggregate_value_detected(self, small_dataset):
+        _, oracle, descriptor, _ = self._fresh_oracle(small_dataset, 67)
+        audit = oracle.audits[descriptor.query_id]
+        # Tamper with one contributor's recorded truth: same row count,
+        # different SUM — the roots's (correct) value no longer matches.
+        node_id, (version, result) = next(iter(audit.contributions.items()))
+        corrupt = QueryResult(
+            specs=list(result.specs),
+            states=[
+                AggregateState(
+                    state.func, state.count, state.total + 1234.0,
+                    state.minimum, state.maximum,
+                )
+                for state in result.states
+            ],
+            row_count=result.row_count,
+        )
+        audit.contributions[node_id] = (version, corrupt)
+        report = oracle.finalize()
+        assert not report["ok"]
+        assert AUDIT_VALUE_MISMATCH in [v["check"] for v in report["violations"]]
+
+    def test_unaudited_query_ignored(self, small_dataset):
+        system = build_system(small_dataset, count=8, seed=71)
+        system.run_until(120.0)
+        _, before = system.inject_query(QUERY_HTTP_BYTES)
+        oracle = system.enable_audit()
+        # Hooks for a query injected before the oracle attached are no-ops.
+        oracle.on_root_result(
+            system.sim.now, system.nodes[0].node_id, before, QueryResult(row_count=9)
+        )
+        assert oracle.violations == []
+        assert before.query_id not in oracle.audits
+
+
+class TestAvailabilityTracking:
+    def test_transitions_update_eligibility(self, small_dataset):
+        system = build_system(small_dataset, count=8, seed=83)
+        oracle = system.enable_audit()
+        system.run_until(120.0)
+        assert oracle.online_now == {n.node_id for n in system.nodes}
+        victim = system.nodes[3]
+        system.force_transition(3, goes_up=False)
+        system.run_until(system.sim.now + 5.0)
+        assert victim.node_id not in oracle.online_now
+        assert victim.node_id in oracle.ever_online
+        assert oracle.transitions >= 1

@@ -1,0 +1,120 @@
+"""Capped exponential backoff for result retransmissions.
+
+With the toggle off (the default) the sweep re-sends every pending
+submission once per period — the seed behaviour, pinned bit-identically
+by the golden-fingerprint tests.  With it on, a submission that stays
+unacknowledged is re-sent at geometrically growing intervals up to the
+cap, so a long partition costs O(log) retransmits instead of one per
+period.
+"""
+
+import pytest
+
+from repro.core import SeaweedConfig, SeaweedSystem
+from repro.core.aggregation import PendingSubmission
+from repro.core.query import QueryDescriptor
+from repro.traces import AvailabilitySchedule, TraceSet
+from repro.workload import QUERY_HTTP_BYTES
+
+HORIZON = 2 * 3600.0
+
+
+def build(small_dataset, config=None):
+    schedules = [AvailabilitySchedule.always_on(HORIZON) for _ in range(8)]
+    trace = TraceSet(schedules, HORIZON)
+    system = SeaweedSystem(
+        trace, small_dataset, num_endsystems=8, master_seed=47,
+        startup_stagger=15.0, config=config,
+    )
+    system.run_until(90.0)
+    return system
+
+
+def stuck_submission(system, node, window=600.0):
+    """Plant an unackable pending submission and record re-send times."""
+    descriptor = QueryDescriptor.create(
+        QUERY_HTTP_BYTES, origin=node.node_id,
+        injected_at=system.sim.now, lifetime=2 * window,
+    )
+    node.remember_query(descriptor)
+    agg = node.aggregator
+    sends = []
+    agg._transmit = lambda *args: sends.append(system.sim.now)
+    key = (descriptor.query_id, 0x1234, node.node_id)
+    agg._pending[key] = PendingSubmission(
+        0x1234, node.node_id, 1, {"states": [], "rows": [], "row_count": 0},
+        descriptor,
+    )
+    agg._ensure_retransmit_timer()
+    system.run_until(system.sim.now + window)
+    return sends
+
+
+class TestBackoffBehaviour:
+    def test_default_resends_every_period(self, small_dataset):
+        system = build(small_dataset)
+        assert system.config.retransmit_backoff is False
+        sends = stuck_submission(system, system.nodes[0])
+        period = system.config.result_retransmit
+        assert len(sends) == pytest.approx(600.0 / period, abs=1)
+        gaps = [b - a for a, b in zip(sends, sends[1:])]
+        assert all(gap == pytest.approx(period) for gap in gaps)
+
+    def test_backoff_grows_geometrically_to_cap(self, small_dataset):
+        config = SeaweedConfig(retransmit_backoff=True)
+        system = build(small_dataset, config=config)
+        sends = stuck_submission(system, system.nodes[0])
+        gaps = [b - a for a, b in zip(sends, sends[1:])]
+        # Far fewer re-sends than the fixed-period sweep...
+        assert len(sends) <= 600.0 / config.result_retransmit / 4
+        # ...with non-decreasing gaps that never exceed the cap by more
+        # than one sweep period (the sweep quantizes due times).
+        assert all(b >= a for a, b in zip(gaps, gaps[1:]))
+        assert max(gaps) <= config.retransmit_backoff_cap + config.result_retransmit
+
+    def test_ack_still_clears_pending_under_backoff(self, small_dataset):
+        from repro.proto.messages import ResultAck
+
+        config = SeaweedConfig(retransmit_backoff=True)
+        system = build(small_dataset, config=config)
+        node = system.nodes[0]
+        descriptor = QueryDescriptor.create(
+            QUERY_HTTP_BYTES, origin=node.node_id,
+            injected_at=system.sim.now, lifetime=3600.0,
+        )
+        agg = node.aggregator
+        agg._pending[(descriptor.query_id, 0x9, node.node_id)] = PendingSubmission(
+            0x9, node.node_id, 1, {"states": [], "rows": [], "row_count": 0},
+            descriptor,
+        )
+        agg.on_ack(ResultAck(
+            query_id=descriptor.query_id, vertex_id=0x9,
+            contributor=node.node_id, version=1,
+        ))
+        assert not agg._pending
+
+    def test_backoff_does_not_break_delivery(self, small_dataset):
+        # End to end with the toggle on, a stable system still reaches
+        # exact ground truth.
+        config = SeaweedConfig(retransmit_backoff=True)
+        system = build(small_dataset, config=config)
+        _, descriptor = system.inject_query(QUERY_HTTP_BYTES)
+        system.run_until(system.sim.now + 120.0)
+        truth = system.ground_truth_rows(descriptor.sql, descriptor.now_binding)
+        assert system.status_of(descriptor).rows_processed == truth
+
+
+class TestConfigValidation:
+    def test_factor_must_exceed_one(self):
+        with pytest.raises(ValueError):
+            SeaweedConfig(retransmit_backoff_factor=1.0)
+
+    def test_cap_must_cover_base_period(self):
+        with pytest.raises(ValueError):
+            SeaweedConfig(retransmit_backoff_cap=5.0)
+
+    def test_defaults_off(self):
+        config = SeaweedConfig()
+        assert config.retransmit_backoff is False
+        assert config.retransmit_backoff_factor == 2.0
+        assert config.retransmit_backoff_cap == 160.0

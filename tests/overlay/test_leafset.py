@@ -126,6 +126,25 @@ class TestCoverage:
         assert ls.covers(ids[30])  # within span
         assert not ls.covers(ids[2])  # far outside span
 
+    def test_wrapped_leafset_covers_everything(self):
+        # Eight nodes, leafset size 8: each side holds four of only seven
+        # other nodes, so the sides overlap and the set wraps the whole
+        # ring.  The span arithmetic degenerates (the extremes can be the
+        # same node, span zero); before the wrap check, covers() returned
+        # False for every key — the true root of a key then refused local
+        # delivery and prefix-routed it away, and two nodes could bounce
+        # the message between each other until the hop limit, forever.
+        ids = ring_ids(8, seed=67)
+        for owner in ids:
+            ls = Leafset(owner, size=8)
+            for node in ids:
+                ls.add(node)
+            assert ls.is_full()
+            assert not set(ls.cw_members).isdisjoint(ls.ccw_members)
+            rng = np.random.default_rng(7)
+            for _ in range(20):
+                assert ls.covers(random_id(rng))
+
     def test_extremes(self):
         ids = ring_ids(32, seed=5)
         owner = ids[16]

@@ -1,0 +1,92 @@
+"""Predictor bucket-boundary properties (sub-resolution and horizon).
+
+Regression for two boundary disagreements between ``add_at_delay`` and
+``cumulative_at``: rows added at a delay at or below the first bucket
+edge (1 s) were credited to bucket 0 — below the resolution at which
+``cumulative_at`` can ever return them — and reading exactly at the
+horizon lost the last bucket to interpolation round-off.  Both ends must
+reconcile: everything added within the horizon is readable at the
+horizon, and sub-edge rows are readable immediately.
+"""
+
+import numpy as np
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.predictor import CompletenessPredictor
+
+HORIZON = 14 * 86400.0
+
+contributions = st.lists(
+    st.tuples(
+        st.floats(min_value=0.0, max_value=20 * 86400.0, allow_nan=False),
+        st.floats(min_value=0.0, max_value=1e6, allow_nan=False),
+    ),
+    max_size=40,
+)
+
+sub_edge_delays = st.floats(min_value=0.0, max_value=1.0, allow_nan=False)
+
+
+def build(entries) -> CompletenessPredictor:
+    predictor = CompletenessPredictor(24, HORIZON)
+    for delay, rows in entries:
+        predictor.add_at_delay(delay, rows)
+    return predictor
+
+
+class TestHorizonBoundary:
+    @given(contributions)
+    def test_horizon_reads_everything_within_it(self, entries):
+        # Read at the predictor's own last edge: np.logspace does not
+        # reproduce the nominal horizon exactly (ulp-level drift).
+        predictor = build(entries)
+        horizon_edge = float(predictor.edges[-1])
+        expected = predictor.expected_total - predictor.beyond_rows
+        assert np.isclose(predictor.cumulative_at(horizon_edge), expected)
+
+    @given(contributions)
+    def test_past_horizon_equals_horizon(self, entries):
+        predictor = build(entries)
+        horizon_edge = float(predictor.edges[-1])
+        at_horizon = predictor.cumulative_at(horizon_edge)
+        assert predictor.cumulative_at(horizon_edge * 3) == at_horizon
+
+    @given(contributions)
+    def test_completeness_reaches_one_when_nothing_is_beyond(self, entries):
+        predictor = build(
+            [(min(delay, HORIZON), rows) for delay, rows in entries]
+        )
+        assert predictor.beyond_rows == 0.0
+        if predictor.expected_total > 0:
+            horizon_edge = float(predictor.edges[-1])
+            assert predictor.completeness_at(horizon_edge) == 1.0
+
+
+class TestSubEdgeBoundary:
+    @given(sub_edge_delays, st.floats(min_value=0.1, max_value=1e6))
+    def test_sub_edge_rows_are_immediately_readable(self, delay, rows):
+        predictor = CompletenessPredictor(24, HORIZON)
+        predictor.add_at_delay(delay, rows)
+        # Sub-resolution rows count as available at delay zero: every
+        # read point agrees with what was added.
+        assert predictor.cumulative_at(0.0) == rows
+        assert predictor.cumulative_at(1.0) == rows
+        assert predictor.immediate_rows == rows
+        assert predictor.bucket_rows.sum() == 0.0
+
+    @given(contributions)
+    def test_exact_at_every_bucket_edge(self, entries):
+        # At a bucket edge no interpolation is involved: the cumulative
+        # read must equal exactly the mass added at or below that edge.
+        predictor = build(entries)
+        for edge in predictor.edges:
+            expected = sum(rows for delay, rows in entries if delay <= edge)
+            assert np.isclose(predictor.cumulative_at(float(edge)), expected)
+
+    @given(contributions)
+    def test_series_still_monotone(self, entries):
+        predictor = build(entries)
+        delays = np.logspace(-1, np.log10(HORIZON), 60)
+        series = predictor.series(delays)
+        assert (np.diff(series) >= -1e-6).all()

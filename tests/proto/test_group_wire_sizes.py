@@ -1,0 +1,118 @@
+"""GROUP BY payloads must pay for their group states on the wire.
+
+Regression for an undercounting bug: ``result_states_size`` ignored the
+``groups`` table of a serialized query result, so GROUP BY submissions
+and vertex replication rode the wire charged only for their ungrouped
+state vector.  Every size here is cross-checked against a reference
+computed directly from the serialized payload structure.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.aggregation import VertexState, result_to_payload
+from repro.core.query import QueryDescriptor
+from repro.db.aggregates import AggregateSpec, AggregateState
+from repro.db.executor import QueryResult
+from repro.proto import codec
+from repro.proto.messages import ResultSubmit, VertexRepl
+
+
+def grouped_result() -> QueryResult:
+    """A GROUP BY result: 2 specs, 3 groups of 2 states each."""
+    specs = [AggregateSpec("SUM", "Bytes"), AggregateSpec("COUNT", None)]
+    states = [
+        AggregateState("SUM", count=10, total=4096.0),
+        AggregateState.from_count(10),
+    ]
+    groups = {
+        app: [
+            AggregateState("SUM", count=3, total=512.0),
+            AggregateState.from_count(3),
+        ]
+        for app in ("HTTP", "SMB", "DNS")
+    }
+    return QueryResult(specs=specs, states=states, row_count=10, groups=groups)
+
+
+def reference_states_size(payload: dict) -> int:
+    """What the serialized payload owes: every state vector, keyed groups."""
+    size = codec.AGG_STATE * len(payload["states"])
+    for states in payload["groups"].values():
+        size += codec.ID + codec.AGG_STATE * len(states)
+    return size
+
+
+@pytest.fixture
+def descriptor() -> QueryDescriptor:
+    return QueryDescriptor.create(
+        "SELECT SUM(Bytes), COUNT(*) FROM Flow GROUP BY App",
+        origin=0x99,
+        injected_at=50.0,
+    )
+
+
+class TestResultStatesSize:
+    def test_matches_serialized_payload(self):
+        payload = result_to_payload(grouped_result())
+        assert codec.result_states_size(payload) == reference_states_size(payload)
+
+    def test_groups_cost_key_plus_states(self):
+        payload = result_to_payload(grouped_result())
+        ungrouped = dict(payload, groups={})
+        grouped_cost = codec.result_states_size(payload) - codec.result_states_size(
+            ungrouped
+        )
+        assert grouped_cost == 3 * (codec.ID + 2 * codec.AGG_STATE)
+
+    def test_empty_groups_cost_legacy_formula(self):
+        payload = result_to_payload(grouped_result())
+        payload["groups"] = {}
+        assert codec.result_states_size(payload) == codec.AGG_STATE * 2
+
+    def test_missing_groups_key_tolerated(self):
+        # Payloads predating GROUP BY have no "groups" key at all.
+        payload = {"states": [1, 2], "rows": [], "row_count": 0}
+        assert codec.result_states_size(payload) == codec.AGG_STATE * 2
+
+
+class TestGroupedMessageSizes:
+    def test_result_submit_charges_groups(self, descriptor):
+        payload = result_to_payload(grouped_result())
+        grouped = ResultSubmit(
+            descriptor=descriptor, vertex_id=1, contributor=2,
+            submitter=3, version=1, result=payload,
+        )
+        plain = ResultSubmit(
+            descriptor=descriptor, vertex_id=1, contributor=2,
+            submitter=3, version=1, result=dict(payload, groups={}),
+        )
+        assert grouped.body_size() - plain.body_size() == 3 * (
+            codec.ID + 2 * codec.AGG_STATE
+        )
+
+    def test_vertex_repl_charges_groups(self, descriptor):
+        payload = result_to_payload(grouped_result())
+        children = {"17": (1, payload), "42": (2, dict(payload, groups={}))}
+        msg = VertexRepl(
+            descriptor=descriptor, vertex_id=1, primary=2,
+            up_version=1, children=children,
+        )
+        expected_children = sum(
+            codec.ID
+            + reference_states_size(child)
+            + codec.ROW * len(child["rows"])
+            for _, child in children.values()
+        )
+        assert msg.body_size() == 32 + expected_children + len(descriptor.sql)
+
+    def test_vertex_state_wire_size_includes_groups(self):
+        payload = result_to_payload(grouped_result())
+        state = VertexState(query_id=1, vertex_id=2)
+        state.update_child(7, 1, payload)
+        plain_state = VertexState(query_id=1, vertex_id=2)
+        plain_state.update_child(7, 1, dict(payload, groups={}))
+        assert state.wire_size() - plain_state.wire_size() == 3 * (
+            codec.ID + 2 * codec.AGG_STATE
+        )

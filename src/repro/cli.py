@@ -9,9 +9,14 @@ Subcommands::
     seaweed-repro chaos   [--scenario --seed]     fault-injection campaign
     seaweed-repro audit   [--scenario --seed]     chaos under the truth oracle
     seaweed-repro perf    [--scenario --out]      perf bench (BENCH_sim.json)
+    seaweed-repro serve-plan [--hosts --nodes]    plan a live cluster spec
+    seaweed-repro serve   --spec FILE --index N   run one live host process
+    seaweed-repro serve-query --port P --sql ...  query a live cluster
 
 Every subcommand prints plain-text tables via the reporting helpers and
-is driven by explicit seeds, so runs are reproducible.
+is driven by explicit seeds, so runs are reproducible.  The ``serve-*``
+family is the live mode (:mod:`repro.serve`): real processes, real TCP,
+same node code as the simulator.
 """
 
 from __future__ import annotations
@@ -379,6 +384,74 @@ def _cmd_perf(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve_plan(args: argparse.Namespace) -> int:
+    from repro.serve.cluster import plan_cluster
+
+    spec = plan_cluster(
+        num_hosts=args.hosts,
+        nodes_per_host=args.nodes,
+        host=args.bind,
+        seed=args.seed,
+        num_profiles=args.profiles,
+        time_scale=args.time_scale,
+        base_port=args.base_port,
+    )
+    if args.out:
+        spec.save(args.out)
+        print(f"cluster spec written to {args.out}")
+    else:
+        print(spec.to_json())
+    bootstrap = spec.hosts[0]
+    print(
+        f"# {args.hosts} host(s) x {args.nodes} node(s); bootstrap "
+        f"{bootstrap.host}:{bootstrap.port}; query any host's client port"
+    )
+    return 0
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import asyncio
+
+    from repro.serve.cluster import ClusterSpec
+    from repro.serve.host import serve_host
+
+    spec = ClusterSpec.load(args.spec)
+    asyncio.run(serve_host(spec, args.index, metrics_out=args.metrics_out))
+    return 0
+
+
+def _cmd_serve_query(args: argparse.Namespace) -> int:
+    from repro.serve.client import ServeError, run_query
+
+    def on_partial(event: dict) -> None:
+        predicted = event.get("predicted")
+        predicted_text = "-" if predicted is None else f"{predicted:.3f}"
+        print(
+            f"  t={event['elapsed']:7.2f}s rows={event['rows']:>8} "
+            f"completeness={event['completeness']:.3f} "
+            f"predicted={predicted_text}"
+        )
+
+    print(f"querying {args.host}:{args.port}: {args.sql}")
+    try:
+        final = run_query(
+            args.host, args.port, args.sql,
+            timeout=args.timeout, target=args.target,
+            on_partial=on_partial if not args.quiet else None,
+        )
+    except (ServeError, ConnectionError, OSError) as error:
+        print(f"error: {error}")
+        return 1
+    print(
+        f"final: rows={final['rows']} "
+        f"completeness={final['completeness']:.3f} values={final['values']}"
+    )
+    if final.get("groups"):
+        for key, values in sorted(final["groups"].items()):
+            print(f"  {key}: {values}")
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     """The CLI argument parser (exposed for tests)."""
     parser = argparse.ArgumentParser(
@@ -493,6 +566,50 @@ def build_parser() -> argparse.ArgumentParser:
         help="record results as the pinned baseline instead of 'current'",
     )
     perf.set_defaults(func=_cmd_perf)
+
+    serve_plan = sub.add_parser(
+        "serve-plan", help="plan a live cluster spec (repro.serve)"
+    )
+    serve_plan.add_argument("--hosts", type=int, default=4)
+    serve_plan.add_argument("--nodes", type=int, default=2,
+                            help="nodes per host process")
+    serve_plan.add_argument("--bind", default="127.0.0.1")
+    serve_plan.add_argument("--seed", type=int, default=0)
+    serve_plan.add_argument("--profiles", type=int, default=8)
+    serve_plan.add_argument("--time-scale", type=float, default=1.0)
+    serve_plan.add_argument(
+        "--base-port", type=int, default=0,
+        help="first port of a sequential range (0 = OS-assigned)",
+    )
+    serve_plan.add_argument("--out", metavar="FILE", default=None)
+    serve_plan.set_defaults(func=_cmd_serve_plan)
+
+    serve = sub.add_parser(
+        "serve", help="run one live host process of a planned cluster"
+    )
+    serve.add_argument("--spec", required=True, metavar="FILE")
+    serve.add_argument("--index", required=True, type=int,
+                       help="which host entry of the spec this process is")
+    serve.add_argument(
+        "--metrics-out", metavar="FILE", default=None,
+        help="periodically write a metrics snapshot (JSONL) to FILE",
+    )
+    serve.set_defaults(func=_cmd_serve)
+
+    serve_query = sub.add_parser(
+        "serve-query", help="stream one query against a live cluster"
+    )
+    serve_query.add_argument("--host", default="127.0.0.1")
+    serve_query.add_argument("--port", required=True, type=int,
+                             help="a host's client service port")
+    serve_query.add_argument(
+        "--sql", default="SELECT SUM(Bytes) FROM Flow WHERE SrcPort = 80"
+    )
+    serve_query.add_argument("--timeout", type=float, default=60.0)
+    serve_query.add_argument("--target", type=float, default=0.999)
+    serve_query.add_argument("--quiet", action="store_true",
+                             help="suppress partial-result lines")
+    serve_query.set_defaults(func=_cmd_serve_query)
 
     return parser
 

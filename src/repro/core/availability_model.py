@@ -205,6 +205,19 @@ class AvailabilityModel:
         """Replicated size in bytes (the model parameter ``a``)."""
         return AVAILABILITY_MODEL_BYTES
 
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, AvailabilityModel):
+            return NotImplemented
+        return (
+            np.array_equal(self.down_edges, other.down_edges)
+            and np.array_equal(self.down_counts, other.down_counts)
+            and np.array_equal(self.up_hour_counts, other.up_hour_counts)
+            and self.periodic_threshold == other.periodic_threshold
+        )
+
+    # Models are mutable learners; identity hashing is kept deliberately.
+    __hash__ = object.__hash__
+
     def snapshot(self) -> dict:
         """A deep-copyable plain-data snapshot (what gets replicated)."""
         return {

@@ -113,6 +113,18 @@ class SeaweedConfig:
     #: Availability model: number of log-scale down-duration buckets.
     down_duration_buckets: int = 16
 
+    #: Wire-size accounting mode: ``"legacy"`` reproduces the seed
+    #: tree's hand-audited formulas bit-for-bit; ``"encoded"`` makes the
+    #: real byte codec (:mod:`repro.proto.wire`) the source of truth, so
+    #: ``body_size()`` equals the encoded payload length.
+    wire_accounting: str = "legacy"
+
+    #: Keep the inherited ResultSubmit reroute accounting quirk (the
+    #: re-routed copy is charged without its aggregate states; DESIGN.md
+    #: §6.9).  On by default for bit-identical goldens; False charges
+    #: what the copy actually carries.  Legacy accounting mode only.
+    reroute_size_quirk: bool = True
+
     def __post_init__(self) -> None:
         if self.metadata_replicas < 1:
             raise ValueError("metadata_replicas must be >= 1")
@@ -126,3 +138,24 @@ class SeaweedConfig:
             raise ValueError(
                 "retransmit_backoff_cap must be >= result_retransmit"
             )
+        from repro.proto import codec
+
+        if self.wire_accounting not in (
+            codec.ACCOUNTING_LEGACY,
+            codec.ACCOUNTING_ENCODED,
+        ):
+            raise ValueError(
+                f"wire_accounting must be 'legacy' or 'encoded', "
+                f"got {self.wire_accounting!r}"
+            )
+
+    def apply_wire_accounting(self) -> None:
+        """Install this config's accounting flags process-wide.
+
+        The codec flags are module-level (``body_size()`` has no config
+        in scope); a system/host applies them once at construction.
+        """
+        from repro.proto import codec
+
+        codec.set_accounting_mode(self.wire_accounting)
+        codec.set_reroute_quirk(self.reroute_size_quirk)

@@ -199,6 +199,22 @@ class CompletenessPredictor:
         """Constant serialized size (what travels up the tree)."""
         return (len(self.bucket_rows) + 3) * _BUCKET_BYTES
 
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, CompletenessPredictor):
+            return NotImplemented
+        return (
+            np.array_equal(self.edges, other.edges)
+            and self.immediate_rows == other.immediate_rows
+            and np.array_equal(self.bucket_rows, other.bucket_rows)
+            and self.beyond_rows == other.beyond_rows
+            and self.unknown_endsystems == other.unknown_endsystems
+            and self.endsystems == other.endsystems
+        )
+
+    # Predictors are mutable accumulators; identity hashing is kept so
+    # existing identity-keyed bookkeeping is unaffected by value equality.
+    __hash__ = object.__hash__
+
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (
             f"CompletenessPredictor(total={self.expected_total:.0f}, "

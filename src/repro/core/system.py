@@ -89,6 +89,7 @@ class SeaweedSystem:
                 only drawn when a plan is attached).
         """
         self.config = config if config is not None else SeaweedConfig()
+        self.config.apply_wire_accounting()
         self.streams = RandomStreams(master_seed)
         self.sim = Simulator(SimClock(), timer_wheel=self.config.timer_wheel)
         self.obs = observer if observer is not None else Observer.disabled()

@@ -191,6 +191,19 @@ class EquiDepthHistogram:
         """Serialized summary size (the model parameter ``h`` counts these)."""
         return len(self.counts) * _BUCKET_BYTES + len(self.mcv) * _FREQ_ENTRY_BYTES
 
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, EquiDepthHistogram):
+            return NotImplemented
+        return (
+            np.array_equal(self.boundaries, other.boundaries)
+            and np.array_equal(self.counts, other.counts)
+            and np.array_equal(self.distincts, other.distincts)
+            and self.total_rows == other.total_rows
+            and self.mcv == other.mcv
+        )
+
+    __hash__ = object.__hash__
+
 
 class FrequencyHistogram:
     """Exact value counts for a categorical (or low-cardinality) column."""
@@ -233,6 +246,17 @@ class FrequencyHistogram:
     def size_bytes(self) -> int:
         """Serialized summary size."""
         return len(self.counts) * _FREQ_ENTRY_BYTES
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, FrequencyHistogram):
+            return NotImplemented
+        return (
+            self.counts == other.counts
+            and self.total_rows == other.total_rows
+            and self.truncated == other.truncated
+        )
+
+    __hash__ = object.__hash__
 
 
 Histogram = Union[EquiDepthHistogram, FrequencyHistogram]

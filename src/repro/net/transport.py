@@ -211,6 +211,38 @@ class Decision:
 DECISION_DROP_LOSS = Decision(drop_reason=DROP_LOSS)
 
 
+def run_interceptor_chain(
+    interceptors: list["Interceptor"],
+    now: float,
+    src: str,
+    dst: str,
+    message: "Message",
+    count_drop: Callable[[str, "Message", str], None],
+) -> Optional[tuple[float, Optional[list["Decision"]]]]:
+    """Show ``message`` to every interceptor, in order.
+
+    The shared fate logic of the sim transport and the live
+    :class:`repro.serve.transport.AsyncioTransport`: returns ``None`` if
+    the message was dropped (``count_drop`` already called with the
+    reason), else ``(extra_delay, duplication decisions)``.
+    """
+    extra_delay = 0.0
+    duplications: Optional[list[Decision]] = None
+    for interceptor in interceptors:
+        decision = interceptor.intercept(now, src, dst, message)
+        if decision is None:
+            continue
+        if decision.drop_reason is not None:
+            count_drop(dst, message, decision.drop_reason)
+            return None
+        extra_delay += decision.extra_delay
+        if decision.duplicates:
+            if duplications is None:
+                duplications = []
+            duplications.append(decision)
+    return extra_delay, duplications
+
+
 class Interceptor(Protocol):
     """The interceptor interface: one look at every outgoing message."""
 
@@ -391,23 +423,11 @@ class Transport:
         Returns ``None`` if the message was dropped (already counted),
         else ``(extra_delay, duplication decisions)``.
         """
-        extra_delay = 0.0
-        duplications: Optional[list[Decision]] = None
-        if self._interceptors:
-            now = self.sim.now
-            for interceptor in self._interceptors:
-                decision = interceptor.intercept(now, src, dst, message)
-                if decision is None:
-                    continue
-                if decision.drop_reason is not None:
-                    self._count_drop(dst, message, decision.drop_reason)
-                    return None
-                extra_delay += decision.extra_delay
-                if decision.duplicates:
-                    if duplications is None:
-                        duplications = []
-                    duplications.append(decision)
-        return extra_delay, duplications
+        if not self._interceptors:
+            return 0.0, None
+        return run_interceptor_chain(
+            self._interceptors, self.sim.now, src, dst, message, self._count_drop
+        )
 
     # ------------------------------------------------------------------
     # Batched sending

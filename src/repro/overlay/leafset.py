@@ -133,6 +133,15 @@ class Leafset:
         hi = self._cw[-1]
         if lo == hi:
             return True
+        # The same degeneracy one population size earlier: when a member
+        # appears on *both* sides, walking ``half`` steps each way meets,
+        # so the ring is no larger than the leafset and every key is
+        # covered.  The span [lo, hi] would then measure the far arc —
+        # excluding the owner's own neighbourhood, making the true root
+        # of a nearby key refuse local delivery and prefix-route it into
+        # a ping-pong (the live-mode 6-node cluster hit this).
+        if not set(self._cw).isdisjoint(self._ccw):
+            return True
         span = cw_distance(lo, hi)
         return cw_distance(lo, key) <= span
 

@@ -26,6 +26,8 @@ silently ignored.
 from __future__ import annotations
 
 import dataclasses
+import os
+import sys
 from typing import TYPE_CHECKING, Any, Callable, Optional
 
 from repro.net.transport import Message
@@ -54,6 +56,10 @@ ID_BYTES = codec.ID
 HOP_ACK_TIMEOUT = 0.5
 #: Maximum hop count before a routed message is dropped (loop guard).
 MAX_HOPS = 64
+
+#: When set, hop-cap routing drops print a one-line diagnosis to stderr
+#: (picked up by the live-mode host logs).
+_ROUTE_DEBUG = bool(os.environ.get("REPRO_ROUTE_DEBUG"))
 #: Join retry: resend the join if no reply arrived within this window.
 JOIN_RETRY_TIMEOUT = 4.0
 MAX_JOIN_RETRIES = 5
@@ -339,11 +345,26 @@ class PastryNode:
             self.network.routing_drops += 1
             if self.network.c_routing_drops is not None:
                 self.network.c_routing_drops.inc()
+            if _ROUTE_DEBUG:  # pragma: no cover - diagnostic aid
+                print(
+                    f"ROUTE-DROP at={self.node_id:032x} key={key:032x} "
+                    f"kind={envelope.app_kind} next={self._next_hop(key)} "
+                    f"leafset={[format(m, '032x')[:6] for m in self.leafset.members]}",
+                    file=sys.stderr, flush=True,
+                )
             return
         next_hop = self._next_hop(key)
         if next_hop is None or next_hop == self.node_id:
             self._deliver(envelope)
             return
+        if _ROUTE_DEBUG and hops > MAX_HOPS - 6:  # pragma: no cover
+            print(
+                f"ROUTE-HOP at={self.node_id:032x} key={key:032x} "
+                f"hops={hops} next={next_hop:032x} "
+                f"covers={self.leafset.covers(key)} "
+                f"leafset={[format(m, '032x')[:6] for m in self.leafset.members]}",
+                file=sys.stderr, flush=True,
+            )
         envelope = dataclasses.replace(envelope, hops=hops + 1)
         message = Message.of(envelope, category)
         self._forward_with_ack(next_hop, message, envelope, category)

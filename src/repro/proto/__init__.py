@@ -6,7 +6,8 @@ its fields (:mod:`repro.proto.codec`), and a registry + dispatcher that
 replace string-keyed handler dicts (:mod:`repro.proto.registry`).
 """
 
-from repro.proto import codec
+from repro.proto import codec, framing, wire
+from repro.proto.framing import Frame, FrameDecoder, FrameError, FrameTooLarge
 from repro.proto.messages import (
     ActiveReq,
     ActiveResp,
@@ -39,6 +40,12 @@ from repro.proto.registry import (
 )
 
 __all__ = [
+    "Frame",
+    "FrameDecoder",
+    "FrameError",
+    "FrameTooLarge",
+    "framing",
+    "wire",
     "ActiveReq",
     "ActiveResp",
     "Bcast",

@@ -66,6 +66,63 @@ HEADER = 48
 BATCH_SUBHEADER = 4
 
 
+#: Accounting mode: the seed tree's hand-maintained size formulas.
+ACCOUNTING_LEGACY = "legacy"
+
+#: Accounting mode: ``body_size()`` measures the real encoded bytes
+#: produced by :mod:`repro.proto.wire` — encode() is the source of truth.
+ACCOUNTING_ENCODED = "encoded"
+
+_ACCOUNTING_MODES = (ACCOUNTING_LEGACY, ACCOUNTING_ENCODED)
+
+_accounting_mode: str = ACCOUNTING_LEGACY
+
+#: Whether the :class:`~repro.proto.messages.ResultSubmit` reroute copy
+#: is accounted *without* its aggregate-state vector (the inherited seed
+#: quirk, DESIGN.md §6.9).  Only consulted in legacy accounting mode —
+#: encoded mode always measures the bytes actually carried.
+_reroute_quirk: bool = True
+
+
+def accounting_mode() -> str:
+    """The active wire-size accounting mode."""
+    return _accounting_mode
+
+
+def set_accounting_mode(mode: str) -> None:
+    """Select how ``body_size()`` is computed.
+
+    ``"legacy"`` (the default) reproduces the seed tree's formulas
+    exactly, keeping simulator runs bit-identical.  ``"encoded"`` makes
+    :func:`repro.proto.wire.encode_body` the source of truth:
+    ``body_size()`` returns the length of the real encoded payload.
+    """
+    global _accounting_mode
+    if mode not in _ACCOUNTING_MODES:
+        raise ValueError(
+            f"unknown accounting mode {mode!r}; expected one of "
+            f"{_ACCOUNTING_MODES}"
+        )
+    _accounting_mode = mode
+
+
+def reroute_quirk() -> bool:
+    """Whether the legacy ResultSubmit reroute size quirk is active."""
+    return _reroute_quirk
+
+
+def set_reroute_quirk(enabled: bool) -> None:
+    """Enable/disable the legacy ResultSubmit reroute accounting quirk.
+
+    Disabling it makes a re-routed submission pay for the aggregate
+    states it actually carries, reconciling the legacy formula with the
+    encoded truth.  The default (enabled) preserves bit-identical
+    simulator goldens.
+    """
+    global _reroute_quirk
+    _reroute_quirk = bool(enabled)
+
+
 def ids(count: int) -> int:
     """Size of ``count`` serialized overlay ids."""
     return ID * count

@@ -42,7 +42,21 @@ class ProtoMessage:
     CATEGORY: ClassVar[str] = "query"
 
     def body_size(self) -> int:
-        """Serialized payload size in bytes (transport adds framing)."""
+        """Serialized payload size in bytes (transport adds framing).
+
+        In the default ``legacy`` accounting mode this is the seed
+        tree's hand-audited formula (:meth:`_accounted_size`); in
+        ``encoded`` mode it is the length of the real encoded payload,
+        making :func:`repro.proto.wire.encode_body` the source of truth.
+        """
+        if codec.accounting_mode() == codec.ACCOUNTING_ENCODED:
+            from repro.proto import wire
+
+            return len(wire.encode_body(self))
+        return self._accounted_size()
+
+    def _accounted_size(self) -> int:
+        """The legacy (seed-tree) size formula for this message."""
         raise NotImplementedError
 
 
@@ -73,7 +87,7 @@ class RouteEnvelope(ProtoMessage):
     origin: int = 0
     direct: bool = False
 
-    def body_size(self) -> int:
+    def _accounted_size(self) -> int:
         return self.app_size + (codec.ID if self.direct else 2 * codec.ID)
 
 
@@ -86,7 +100,7 @@ class RouteAck(ProtoMessage):
 
     msg_id: int
 
-    def body_size(self) -> int:
+    def _accounted_size(self) -> int:
         return 0
 
 
@@ -101,7 +115,7 @@ class JoinRequest(ProtoMessage):
     joiner: int
     path: list[int] = field(default_factory=list)
 
-    def body_size(self) -> int:
+    def _accounted_size(self) -> int:
         # Joiner id + target key + one id per recorded hop.
         return codec.ids(2 + len(self.path))
 
@@ -118,7 +132,7 @@ class JoinReply(ProtoMessage):
     routing: list[int]
     path: list[int]
 
-    def body_size(self) -> int:
+    def _accounted_size(self) -> int:
         return codec.ids(len(self.leafset) + len(self.routing) + 1)
 
 
@@ -132,7 +146,7 @@ class LeafsetAnnounce(ProtoMessage):
 
     joiner: int
 
-    def body_size(self) -> int:
+    def _accounted_size(self) -> int:
         return codec.ID
 
 
@@ -146,7 +160,7 @@ class LeafsetState(ProtoMessage):
 
     members: list[int]
 
-    def body_size(self) -> int:
+    def _accounted_size(self) -> int:
         return codec.ids(len(self.members))
 
 
@@ -158,7 +172,7 @@ class LeafsetProbe(ProtoMessage):
     KIND: ClassVar[str] = "P_LS_PROBE"
     CATEGORY: ClassVar[str] = "overlay"
 
-    def body_size(self) -> int:
+    def _accounted_size(self) -> int:
         return 0
 
 
@@ -176,7 +190,7 @@ class QueryInject(ProtoMessage):
 
     descriptor: "QueryDescriptor"
 
-    def body_size(self) -> int:
+    def _accounted_size(self) -> int:
         return codec.descriptor_size(self.descriptor)
 
 
@@ -192,7 +206,7 @@ class Bcast(ProtoMessage):
     hi: int
     parent: Optional[int]
 
-    def body_size(self) -> int:
+    def _accounted_size(self) -> int:
         return codec.descriptor_size(self.descriptor) + codec.RANGE + codec.TAG
 
 
@@ -207,7 +221,7 @@ class BcastAck(ProtoMessage):
     lo: int
     hi: int
 
-    def body_size(self) -> int:
+    def _accounted_size(self) -> int:
         return codec.RANGE + codec.ID + codec.TAG
 
 
@@ -223,7 +237,7 @@ class PredictorUpdate(ProtoMessage):
     hi: int
     predictor: "CompletenessPredictor"
 
-    def body_size(self) -> int:
+    def _accounted_size(self) -> int:
         return self.predictor.wire_size() + codec.RANGE + codec.ID + codec.TAG
 
 
@@ -237,7 +251,7 @@ class PredictorResult(ProtoMessage):
     query_id: int
     predictor: "CompletenessPredictor"
 
-    def body_size(self) -> int:
+    def _accounted_size(self) -> int:
         return self.predictor.wire_size() + codec.ID + codec.TAG
 
 
@@ -259,6 +273,10 @@ class ResultSubmit(ProtoMessage):
     kept for bit-compatibility with the seed tree: the re-routed copy is
     accounted *without* the aggregate-state vector — only the fixed part
     and the SQL text — although the payload still carries the states.
+    The quirk is gated on :func:`repro.proto.codec.reroute_quirk` (on by
+    default; ``SeaweedConfig.reroute_size_quirk=False`` charges the
+    states the copy actually carries) and never applies in ``encoded``
+    accounting mode, where the measured bytes are the truth.
     See DESIGN.md §6.9.
     """
 
@@ -272,9 +290,9 @@ class ResultSubmit(ProtoMessage):
     result: dict
     reroute: bool = False
 
-    def body_size(self) -> int:
+    def _accounted_size(self) -> int:
         size = 4 * codec.ID + len(self.descriptor.sql)
-        if not self.reroute:
+        if not (self.reroute and codec.reroute_quirk()):
             size += codec.result_states_size(self.result)
         return size
 
@@ -291,7 +309,7 @@ class ResultAck(ProtoMessage):
     contributor: int
     version: int
 
-    def body_size(self) -> int:
+    def _accounted_size(self) -> int:
         return 2 * codec.ID + 2 * codec.TAG
 
 
@@ -312,7 +330,7 @@ class VertexRepl(ProtoMessage):
     up_version: int
     children: dict[str, tuple[int, dict]]
 
-    def body_size(self) -> int:
+    def _accounted_size(self) -> int:
         return (
             codec.RANGE
             + codec.vertex_children_size(self.children.values())
@@ -348,7 +366,7 @@ class MetaPush(ProtoMessage):
     #: Set to the configured beacon size for a no-change delta push.
     beacon_bytes: Optional[int] = None
 
-    def body_size(self) -> int:
+    def _accounted_size(self) -> int:
         if self.beacon_bytes is not None:
             return self.beacon_bytes
         return self.metadata.wire_size()
@@ -363,7 +381,7 @@ class ActiveReq(ProtoMessage):
 
     requester: int
 
-    def body_size(self) -> int:
+    def _accounted_size(self) -> int:
         return codec.ID
 
 
@@ -377,7 +395,7 @@ class ActiveResp(ProtoMessage):
     active: list["QueryDescriptor"]
     cancelled: list[int]
 
-    def body_size(self) -> int:
+    def _accounted_size(self) -> int:
         return (
             codec.ID
             + sum(codec.descriptor_size(d) for d in self.active)
@@ -396,7 +414,7 @@ class StatusPush(ProtoMessage):
     result: "QueryResult"
     time: float
 
-    def body_size(self) -> int:
+    def _accounted_size(self) -> int:
         return self.result.wire_size() + codec.ID + codec.TAG
 
 
@@ -409,5 +427,5 @@ class Cancel(ProtoMessage):
 
     query_id: int
 
-    def body_size(self) -> int:
+    def _accounted_size(self) -> int:
         return codec.ID + codec.TAG

@@ -1,0 +1,121 @@
+"""Programmatic access to a live cluster's query service.
+
+:class:`ServeClient` is the asyncio client; :func:`run_query` is the
+synchronous convenience wrapper (opens a connection, runs one query,
+returns the final event)::
+
+    final = run_query("127.0.0.1", 9001,
+                      "SELECT SUM(Bytes) FROM Flow WHERE SrcPort = 80")
+    print(final["values"], final["completeness"])
+
+The protocol is line-delimited JSON; see :mod:`repro.serve.service`.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from typing import Any, Callable, Optional
+
+MAX_LINE_BYTES = 1 << 20
+
+
+class ServeError(RuntimeError):
+    """The service reported an error event."""
+
+
+class ServeClient:
+    """One connection to a host's query service."""
+
+    def __init__(self, host: str, port: int) -> None:
+        self.host = host
+        self.port = port
+        self._reader: Optional[asyncio.StreamReader] = None
+        self._writer: Optional[asyncio.StreamWriter] = None
+
+    async def __aenter__(self) -> "ServeClient":
+        await self.connect()
+        return self
+
+    async def __aexit__(self, *exc: Any) -> None:
+        await self.close()
+
+    async def connect(self) -> None:
+        self._reader, self._writer = await asyncio.open_connection(
+            self.host, self.port, limit=MAX_LINE_BYTES
+        )
+
+    async def close(self) -> None:
+        if self._writer is not None:
+            self._writer.close()
+            try:
+                await self._writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+            self._reader = self._writer = None
+
+    async def _request(self, request: dict) -> None:
+        assert self._writer is not None, "not connected"
+        self._writer.write(
+            json.dumps(request, separators=(",", ":")).encode() + b"\n"
+        )
+        await self._writer.drain()
+
+    async def _read_event(self) -> dict:
+        assert self._reader is not None, "not connected"
+        line = await self._reader.readline()
+        if not line:
+            raise ConnectionError("service closed the connection")
+        event = json.loads(line)
+        if not isinstance(event, dict):
+            raise ServeError(f"malformed event: {event!r}")
+        return event
+
+    async def ping(self) -> dict:
+        """``{"event": "pong", "ready": bool, "nodes": int}``."""
+        await self._request({"op": "ping"})
+        return await self._read_event()
+
+    async def query(
+        self,
+        sql: str,
+        timeout: float = 60.0,
+        poll: float = 0.25,
+        target: float = 0.999,
+        on_partial: Optional[Callable[[dict], None]] = None,
+    ) -> dict:
+        """Run one query to completion; returns the ``final`` event.
+
+        ``on_partial`` (if given) is called with every streamed partial
+        event — each carries the current row count, the monotone
+        observed completeness, and the predictor's estimate.
+        """
+        await self._request({
+            "op": "query", "sql": sql,
+            "timeout": timeout, "poll": poll, "target": target,
+        })
+        while True:
+            event = await self._read_event()
+            kind = event.get("event")
+            if kind == "final":
+                return event
+            if kind == "partial":
+                if on_partial is not None:
+                    on_partial(event)
+            elif kind == "error":
+                raise ServeError(event.get("error", "unknown error"))
+            # "accepted" and unknown events: keep streaming.
+
+    async def cancel(self, query_id: str) -> dict:
+        await self._request({"op": "cancel", "query_id": query_id})
+        return await self._read_event()
+
+
+def run_query(host: str, port: int, sql: str, **kwargs: Any) -> dict:
+    """Synchronous one-shot query (connect, stream, return final event)."""
+
+    async def _run() -> dict:
+        async with ServeClient(host, port) as client:
+            return await client.query(sql, **kwargs)
+
+    return asyncio.run(_run())

@@ -1,0 +1,497 @@
+"""AsyncioTransport: the live (TCP) implementation of the transport.
+
+Implements the surface node code actually uses from
+:class:`repro.net.transport.Transport` — ``register``, ``set_online``,
+``is_online``, ``send``, ``count_unknown_kind``, the interceptor chain,
+and the drop counters — over real sockets:
+
+* every peer process gets one pooled outbound connection with a
+  per-peer write queue; the writer task connects lazily, reconnects
+  with capped exponential backoff, and drains the queue in order;
+* messages are serialized with :func:`repro.proto.wire.encode_message`
+  and framed by :mod:`repro.proto.framing` (kind tag, length prefix,
+  crc32), so corruption and oversized frames are rejected at the
+  envelope layer;
+* messages addressed to a node registered *in this process* short-cut
+  through the loop (scheduled, never inline) — the kernel-loopback
+  case — while still passing the interceptor chain;
+* the same :class:`~repro.net.transport.Interceptor` chain as the sim
+  transport rules on every outgoing message, so :mod:`repro.faults`
+  plans and :mod:`repro.obs` instrumentation work unchanged on live
+  runs;
+* :meth:`drain_and_close` flushes every write queue before closing —
+  the graceful-shutdown path (bounded by a timeout).
+
+Sim-vs-live fidelity note: the sim transport models a datagram service
+(loss, no connections).  TCP gives in-order reliable delivery per peer;
+what remains lossy is the *node* layer — messages to an offline or
+crashed process are dropped after the send queue overflows or the
+connection dies, counted in ``drops_by_reason``, exactly the failure
+model the Seaweed protocols are built to recover from.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import logging
+from collections import deque
+from typing import TYPE_CHECKING, Any, Callable, Mapping, Optional
+
+from repro.net.transport import (
+    DROP_OFFLINE,
+    DROP_UNKNOWN_KIND,
+    DROP_UNREGISTERED,
+    Handler,
+    Interceptor,
+    Message,
+    run_interceptor_chain,
+)
+from repro.proto import framing, wire
+from repro.serve.scheduler import AsyncioScheduler
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.net.stats import BandwidthAccounting
+    from repro.obs.observer import Observer
+
+log = logging.getLogger("repro.serve.transport")
+
+#: Drop reason: the per-peer write queue overflowed (slow/absent peer).
+DROP_BACKPRESSURE = "backpressure"
+#: Drop reason: the peer connection died with messages in flight.
+DROP_CONNECTION = "connection"
+#: Drop reason: no listen address is known for the destination.
+DROP_UNRESOLVED = "unresolved"
+#: Drop reason: a peer sent a frame that failed envelope validation.
+DROP_BAD_FRAME = "bad_frame"
+
+
+class _Peer:
+    """One pooled outbound connection with its ordered write queue."""
+
+    def __init__(self, transport: "AsyncioTransport", name_key: str,
+                 host: str, port: int) -> None:
+        self.transport = transport
+        self.name_key = name_key
+        self.host = host
+        self.port = port
+        self.queue: deque[bytes] = deque()
+        self.wakeup = asyncio.Event()
+        self.connected = False
+        self.closing = False
+        self.task = asyncio.get_event_loop().create_task(self._run())
+
+    @property
+    def depth(self) -> int:
+        return len(self.queue)
+
+    def enqueue(self, data: bytes) -> bool:
+        """Queue one encoded frame; False if the queue is full."""
+        if len(self.queue) >= self.transport.max_queue_depth:
+            return False
+        self.queue.append(data)
+        self.wakeup.set()
+        return True
+
+    async def _run(self) -> None:
+        backoff = self.transport.reconnect_initial
+        writer: Optional[asyncio.StreamWriter] = None
+        try:
+            while not self.closing:
+                if writer is None:
+                    try:
+                        _, writer = await asyncio.open_connection(
+                            self.host, self.port
+                        )
+                    except OSError:
+                        self.connected = False
+                        await self._sleep(backoff)
+                        backoff = min(
+                            backoff * 2, self.transport.reconnect_cap
+                        )
+                        continue
+                    self.connected = True
+                    backoff = self.transport.reconnect_initial
+                    self.transport._note_connections()
+                if not self.queue:
+                    self.wakeup.clear()
+                    if self.closing:
+                        break
+                    await self.wakeup.wait()
+                    continue
+                data = self.queue[0]
+                try:
+                    writer.write(data)
+                    await writer.drain()
+                except (ConnectionError, OSError):
+                    # The frame at the queue head may be lost; drop it and
+                    # reconnect (datagram semantics, as the protocols expect).
+                    if self.queue:
+                        self.queue.popleft()
+                    self.transport._count_peer_drop(self.name_key, DROP_CONNECTION)
+                    self.connected = False
+                    writer = None
+                    self.transport._note_connections()
+                    continue
+                if self.queue:
+                    self.queue.popleft()
+        finally:
+            self.connected = False
+            if writer is not None:
+                writer.close()
+                try:
+                    await writer.wait_closed()
+                except (ConnectionError, OSError):
+                    pass
+            self.transport._note_connections()
+
+    async def _sleep(self, seconds: float) -> None:
+        try:
+            await asyncio.wait_for(self.wakeup.wait(), timeout=seconds)
+            self.wakeup.clear()
+        except asyncio.TimeoutError:
+            pass
+
+    async def drain(self, timeout: float) -> bool:
+        """Wait until the queue is empty (or ``timeout``); True if drained."""
+        deadline = asyncio.get_event_loop().time() + timeout
+        while self.queue and asyncio.get_event_loop().time() < deadline:
+            await asyncio.sleep(0.02)
+        return not self.queue
+
+    async def close(self) -> None:
+        self.closing = True
+        self.wakeup.set()
+        try:
+            await self.task
+        except asyncio.CancelledError:
+            pass
+
+
+class AsyncioTransport:
+    """Live transport: the sim transport's interface over TCP sockets."""
+
+    def __init__(
+        self,
+        scheduler: AsyncioScheduler,
+        directory: Mapping[str, tuple[str, int]],
+        listen_host: str = "127.0.0.1",
+        listen_port: int = 0,
+        accounting: Optional["BandwidthAccounting"] = None,
+        observer: Optional["Observer"] = None,
+        max_frame: int = framing.DEFAULT_MAX_FRAME,
+        max_queue_depth: int = 4096,
+        reconnect_initial: float = 0.1,
+        reconnect_cap: float = 5.0,
+        on_peer_activity: Optional[Callable[[str, float], None]] = None,
+    ) -> None:
+        self.scheduler = scheduler
+        #: node name -> (host, port) of the process hosting it.
+        self.directory = dict(directory)
+        self.listen_host = listen_host
+        self.listen_port = listen_port
+        self.accounting = accounting
+        self.max_frame = max_frame
+        self.max_queue_depth = max_queue_depth
+        self.reconnect_initial = reconnect_initial
+        self.reconnect_cap = reconnect_cap
+        #: Called with (src name, protocol now) for every inbound message —
+        #: the live failure detector's evidence stream.
+        self.on_peer_activity = on_peer_activity
+        self._handlers: dict[str, Handler] = {}
+        self._online: dict[str, bool] = {}
+        self._peers: dict[tuple[str, int], _Peer] = {}
+        self._inbound: set[asyncio.StreamWriter] = set()
+        self._server: Optional[asyncio.AbstractServer] = None
+        self._interceptors: list[Interceptor] = []
+        self.dropped_offline = 0
+        self.dropped_loss = 0
+        self.dropped_unregistered = 0
+        self.dropped_unknown_kind = 0
+        self.drops_by_reason: dict[str, int] = {}
+        self.messages_sent = 0
+        self.messages_received = 0
+        self.bytes_sent = 0
+        self._obs = observer if (observer is not None and observer.enabled) else None
+        if self._obs is not None:
+            metrics = self._obs.metrics
+            self._c_messages = metrics.counter("transport.messages_total")
+            self._c_bytes = metrics.counter("transport.bytes_total")
+            self._c_category: dict[str, Any] = {}
+            self._g_connections = metrics.gauge("serve.connections")
+            self._g_queue_depth = metrics.gauge("serve.write_queue_depth")
+        else:
+            self._c_messages = None
+            self._c_bytes = None
+            self._c_category = {}
+            self._g_connections = None
+            self._g_queue_depth = None
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+
+    async def start(self) -> tuple[str, int]:
+        """Start the listening server; returns the bound (host, port)."""
+        self._server = await asyncio.start_server(
+            self._serve_connection, self.listen_host, self.listen_port
+        )
+        sockname = self._server.sockets[0].getsockname()
+        self.listen_host, self.listen_port = sockname[0], sockname[1]
+        return self.listen_host, self.listen_port
+
+    async def drain_and_close(self, timeout: float = 5.0) -> bool:
+        """Flush write queues, then close every connection and the server.
+
+        Returns True if every queue drained within ``timeout``.
+        """
+        drained = True
+        for peer in list(self._peers.values()):
+            drained = await peer.drain(timeout) and drained
+        for peer in list(self._peers.values()):
+            await peer.close()
+        self._peers.clear()
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        # Close inbound connections so their handler tasks exit on EOF
+        # instead of being cancelled at loop teardown.
+        for writer in list(self._inbound):
+            writer.close()
+        self._inbound.clear()
+        self._note_connections()
+        return drained
+
+    # ------------------------------------------------------------------
+    # Interceptor chain (same contract as the sim transport)
+    # ------------------------------------------------------------------
+
+    def add_interceptor(self, interceptor: Interceptor) -> None:
+        """Append an interceptor to the chain (fault injection hook)."""
+        self._interceptors.append(interceptor)
+
+    def remove_interceptor(self, interceptor: Interceptor) -> None:
+        """Remove a previously added interceptor.  Missing is a no-op."""
+        try:
+            self._interceptors.remove(interceptor)
+        except ValueError:
+            pass
+
+    @property
+    def interceptors(self) -> tuple[Interceptor, ...]:
+        """The current interceptor chain (read-only view)."""
+        return tuple(self._interceptors)
+
+    # ------------------------------------------------------------------
+    # Registration and liveness
+    # ------------------------------------------------------------------
+
+    def register(self, endsystem: str, handler: Handler) -> None:
+        """Register the handler for a node hosted in this process."""
+        self._handlers[endsystem] = handler
+        self._online.setdefault(endsystem, False)
+
+    def set_online(self, endsystem: str, online: bool) -> None:
+        """Mark a locally hosted node up or down."""
+        self._online[endsystem] = online
+
+    def is_online(self, endsystem: str) -> bool:
+        """Whether a locally hosted node is up (remote nodes: unknown)."""
+        return self._online.get(endsystem, False)
+
+    @property
+    def connection_count(self) -> int:
+        """Open outbound connections in the pool."""
+        return sum(1 for peer in self._peers.values() if peer.connected)
+
+    @property
+    def write_queue_depth(self) -> int:
+        """Messages waiting in outbound write queues."""
+        return sum(peer.depth for peer in self._peers.values())
+
+    # ------------------------------------------------------------------
+    # Sending
+    # ------------------------------------------------------------------
+
+    def send(self, src: str, dst: str, message: Message) -> None:
+        """Send ``message`` from ``src`` to ``dst`` (sync, loop context).
+
+        The interceptor chain rules first; surviving messages go to a
+        local handler via the scheduler (never inline — preserving the
+        sim's you-never-deliver-inside-send invariant) or onto the
+        destination process's write queue.
+        """
+        message.src = src
+        self._account(src, dst, message.wire_size, message.category)
+        fate = run_interceptor_chain(
+            self._interceptors, self.scheduler.now, src, dst, message,
+            self._count_drop,
+        )
+        if fate is None:
+            return
+        extra_delay, duplications = fate
+        copies = 1
+        if duplications is not None:
+            copies += sum(decision.duplicates for decision in duplications)
+        for _ in range(copies):
+            if extra_delay > 0:
+                self.scheduler.schedule(extra_delay, self._dispatch, dst, message)
+            else:
+                self._dispatch(dst, message)
+
+    def _dispatch(self, dst: str, message: Message) -> None:
+        if dst in self._handlers:
+            # Locally hosted node: loop-back without touching a socket.
+            self.scheduler.schedule(0.0, self._deliver_local, dst, message)
+            return
+        address = self.directory.get(dst)
+        if address is None:
+            self._count_drop(dst, message, DROP_UNRESOLVED)
+            return
+        try:
+            frame = wire.encode_message(
+                message.kind,
+                message.src,
+                dst,
+                message.category,
+                message.size,
+                message.meta,
+                message.payload,
+            )
+        except wire.WireError:
+            log.exception("cannot encode %s for %s", message.kind, dst)
+            self._count_drop(dst, message, "unencodable")
+            return
+        data = frame.to_bytes()
+        peer = self._peers.get(address)
+        if peer is None:
+            peer = self._peers[address] = _Peer(self, dst, *address)
+        if not peer.enqueue(data):
+            self._count_drop(dst, message, DROP_BACKPRESSURE)
+            return
+        self.messages_sent += 1
+        self.bytes_sent += len(data)
+        self._note_queue_depth()
+
+    # ------------------------------------------------------------------
+    # Receiving
+    # ------------------------------------------------------------------
+
+    async def _serve_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        decoder = framing.FrameDecoder(max_frame=self.max_frame)
+        peername = writer.get_extra_info("peername")
+        self._inbound.add(writer)
+        try:
+            while True:
+                data = await reader.read(65536)
+                if not data:
+                    break  # EOF: peer closed (possibly mid-frame; discard)
+                try:
+                    frames = decoder.feed(data)
+                except framing.FrameError as error:
+                    # Corrupt or oversized stream: count and cut the peer.
+                    log.warning("bad frame from %s: %s", peername, error)
+                    self._count_reason(DROP_BAD_FRAME)
+                    break
+                for frame in frames:
+                    self._handle_frame(frame, peername)
+        except (ConnectionError, OSError):
+            pass  # peer crashed mid-stream; buffered partial frame discarded
+        finally:
+            self._inbound.discard(writer)
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+
+    def _handle_frame(self, frame: framing.Frame, peername: Any) -> None:
+        try:
+            wm = wire.decode_message(frame)
+        except wire.WireError as error:
+            log.warning("undecodable %r frame from %s: %s",
+                        frame.kind, peername, error)
+            self._count_reason(DROP_BAD_FRAME)
+            return
+        self.messages_received += 1
+        if self.on_peer_activity is not None and wm.src:
+            self.on_peer_activity(wm.src, self.scheduler.now)
+        message = Message(
+            kind=wm.kind,
+            payload=wm.payload,
+            size=wm.size,
+            src=wm.src,
+            category=wm.category,
+            meta=wm.meta,
+        )
+        self._deliver_local(wm.dst, message)
+
+    def _deliver_local(self, dst: str, message: Message) -> None:
+        if not self._online.get(dst, False):
+            self.dropped_offline += 1
+            self._count_reason(DROP_OFFLINE)
+            if self._obs is not None:
+                self._obs.message_drop(
+                    self.scheduler.now, dst, message.kind, DROP_OFFLINE
+                )
+            return
+        handler = self._handlers.get(dst)
+        if handler is None:
+            self.dropped_unregistered += 1
+            self._count_reason(DROP_UNREGISTERED)
+            if self._obs is not None:
+                self._obs.message_drop(
+                    self.scheduler.now, dst, message.kind, DROP_UNREGISTERED
+                )
+            return
+        try:
+            handler(dst, message)
+        except Exception:  # noqa: BLE001 - a handler must not kill the host
+            log.exception("handler for %s failed on %s", dst, message.kind)
+
+    def count_unknown_kind(self, dst: str, kind: str) -> None:
+        """Record a delivered message whose kind no handler recognizes."""
+        self.dropped_unknown_kind += 1
+        self._count_reason(DROP_UNKNOWN_KIND)
+        if self._obs is not None:
+            self._obs.message_drop(self.scheduler.now, dst, kind, DROP_UNKNOWN_KIND)
+
+    # ------------------------------------------------------------------
+    # Accounting
+    # ------------------------------------------------------------------
+
+    def _account(self, src: str, dst: str, wire_size: int, category: str) -> None:
+        if self.accounting is not None:
+            self.accounting.record(self.scheduler.now, src, dst, wire_size, category)
+        if self._obs is not None:
+            self._c_messages.inc()
+            self._c_bytes.inc(wire_size)
+            by_category = self._c_category.get(category)
+            if by_category is None:
+                by_category = self._c_category[category] = (
+                    self._obs.metrics.counter(
+                        "transport.bytes_total", category=category
+                    )
+                )
+            by_category.inc(wire_size)
+
+    def _count_drop(self, dst: str, message: Message, reason: str) -> None:
+        self._count_reason(reason)
+        if self._obs is not None:
+            self._obs.message_drop(self.scheduler.now, dst, message.kind, reason)
+
+    def _count_peer_drop(self, dst: str, reason: str) -> None:
+        self._count_reason(reason)
+
+    def _count_reason(self, reason: str) -> None:
+        self.drops_by_reason[reason] = self.drops_by_reason.get(reason, 0) + 1
+
+    def _note_connections(self) -> None:
+        if self._g_connections is not None:
+            self._g_connections.set(self.connection_count)
+
+    def _note_queue_depth(self) -> None:
+        if self._g_queue_depth is not None:
+            self._g_queue_depth.set(self.write_queue_depth)

@@ -145,6 +145,31 @@ class TestCoverage:
             for _ in range(20):
                 assert ls.covers(random_id(rng))
 
+    def test_overlapping_sides_cover_everything(self):
+        # The same degeneracy one population size earlier than the
+        # extremes-coincide case: six nodes, leafset size 8.  Each side
+        # holds four of the five other nodes, the extremes differ
+        # (lo != hi), and the span [lo, hi] measures the FAR arc of the
+        # ring — excluding the owner's own neighbourhood.  A live-mode
+        # 6-node cluster hit exactly this: the true root of a result key
+        # adjacent to its own id reported covers() False, prefix-routed
+        # the submission to the only other first-digit match, whose
+        # closer-candidate fallback sent it straight back — a permanent
+        # ping-pong that silently starved one node's contribution.
+        for population in (3, 4, 5, 6, 7, 8):
+            ids = ring_ids(population, seed=29)
+            rng = np.random.default_rng(11)
+            keys = [random_id(rng) for _ in range(20)]
+            for owner in ids:
+                ls = Leafset(owner, size=8)
+                for node in ids:
+                    ls.add(node)
+                for key in keys:
+                    assert ls.covers(key), (
+                        f"population {population}: {owner:032x} "
+                        f"does not cover {key:032x}"
+                    )
+
     def test_extremes(self):
         ids = ring_ids(32, seed=5)
         owner = ids[16]

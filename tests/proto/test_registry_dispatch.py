@@ -51,9 +51,11 @@ class TestRegistry:
         assert register(Cancel) is Cancel  # re-registering is a no-op
 
     def test_every_class_computes_a_size(self):
-        """No registered class inherits the abstract body_size."""
+        """No registered class inherits the abstract size formula."""
         for cls in registered_classes():
-            assert cls.body_size is not ProtoMessage.body_size, cls.__name__
+            assert (
+                cls._accounted_size is not ProtoMessage._accounted_size
+            ), cls.__name__
 
     def test_all_classes_are_dataclasses(self):
         for cls in registered_classes():

@@ -1,0 +1,253 @@
+"""End-to-end live mode: real sockets, streamed completeness, real processes.
+
+The in-process tests boot multiple :class:`NodeHost` instances inside
+one event loop (multiple "processes" sharing a loop, each with its own
+transport and overlay state).  The subprocess test boots a real
+``python -m repro serve`` cluster via :class:`LocalCluster` — the same
+path the ``serve-smoke`` CI job drives at scale.
+"""
+
+import asyncio
+import json
+
+import pytest
+
+from repro.serve import (
+    NodeHost,
+    ServeClient,
+    build_config,
+    plan_cluster,
+)
+from repro.serve.cluster import ClusterSpec
+
+SQL = "SELECT SUM(Bytes), COUNT(*) FROM Flow WHERE SrcPort = 80"
+
+
+# ----------------------------------------------------------------------
+# Planning and spec plumbing
+# ----------------------------------------------------------------------
+
+
+def test_plan_is_deterministic_given_seed():
+    first = plan_cluster(3, nodes_per_host=2, seed=42, base_port=20000)
+    second = plan_cluster(3, nodes_per_host=2, seed=42, base_port=20000)
+    assert first.to_json() == second.to_json()
+    assert len(set(first.all_node_ids())) == 6
+
+
+def test_spec_json_roundtrip(tmp_path):
+    spec = plan_cluster(2, nodes_per_host=3, seed=9)
+    path = tmp_path / "cluster.json"
+    spec.save(str(path))
+    loaded = ClusterSpec.load(str(path))
+    assert loaded.to_json() == spec.to_json()
+    assert loaded.all_node_ids() == spec.all_node_ids()
+    assert loaded.directory() == spec.directory()
+    assert loaded.bootstrap_id() == spec.bootstrap_id()
+
+
+def test_ground_truth_is_deterministic():
+    spec = plan_cluster(2, nodes_per_host=2, seed=3)
+    first, second = spec.ground_truth(SQL), spec.ground_truth(SQL)
+    assert first.row_count == second.row_count
+    assert first.values() == second.values()
+    assert first.row_count > 0
+
+
+def test_build_config_applies_nested_overrides():
+    config = build_config(
+        {"vertex_forward_delay": 0.5, "overlay.heartbeat_period": 7.0}
+    )
+    assert config.vertex_forward_delay == 0.5
+    assert config.overlay.heartbeat_period == 7.0
+
+
+def test_build_config_rejects_unknown_keys():
+    with pytest.raises(ValueError, match="no_such_knob"):
+        build_config({"no_such_knob": 1})
+    with pytest.raises(ValueError, match="overlay.bogus"):
+        build_config({"overlay.bogus": 1})
+
+
+# ----------------------------------------------------------------------
+# In-process cluster (multiple hosts, one loop)
+# ----------------------------------------------------------------------
+
+
+async def _wait_all_online(hosts, timeout: float = 30.0) -> None:
+    deadline = asyncio.get_event_loop().time() + timeout
+    total = sum(len(host.nodes) for host in hosts)
+    while True:
+        online = sum(
+            1
+            for host in hosts
+            for node in host.nodes.values()
+            if node.pastry.online
+        )
+        if online == total:
+            return
+        if asyncio.get_event_loop().time() > deadline:
+            pytest.fail(f"only {online}/{total} nodes joined in {timeout}s")
+        await asyncio.sleep(0.1)
+
+
+def test_in_process_cluster_answers_exactly():
+    """Two hosts x two nodes: a streamed query converges on the exact
+    ground truth with monotone completeness."""
+
+    async def main():
+        spec = plan_cluster(num_hosts=2, nodes_per_host=2, seed=11)
+        truth = spec.ground_truth(SQL)
+        hosts = [NodeHost(spec, index) for index in range(2)]
+        try:
+            for host in hosts:
+                await host.start()
+            await _wait_all_online(hosts)
+
+            partials = []
+            async with ServeClient(
+                spec.hosts[1].host, spec.hosts[1].client_port
+            ) as client:
+                pong = await client.ping()
+                assert pong["ready"] and pong["nodes"] == 2
+                final = await client.query(
+                    SQL, timeout=30.0, on_partial=partials.append
+                )
+            completeness = [p["completeness"] for p in partials]
+            completeness.append(final["completeness"])
+            assert completeness == sorted(completeness), (
+                f"completeness not monotone: {completeness}"
+            )
+            assert final["completeness"] == pytest.approx(1.0, abs=1e-3)
+            assert final["rows"] == truth.row_count
+            assert final["values"] == truth.values()
+        finally:
+            for host in hosts:
+                await host.stop()
+
+    asyncio.run(main())
+
+
+def test_stream_end_cancels_query_cluster_wide():
+    """Once a stream delivers its final event the query is tombstoned:
+    the stream was the only consumer, so no node may keep re-submitting
+    repair results for it (a long-lived host would otherwise accumulate
+    refresh traffic for every query ever served)."""
+
+    async def main():
+        spec = plan_cluster(num_hosts=1, nodes_per_host=2, seed=11)
+        host = NodeHost(spec, 0)
+        try:
+            await host.start()
+            await _wait_all_online([host])
+            async with ServeClient(
+                spec.hosts[0].host, spec.hosts[0].client_port
+            ) as client:
+                final = await client.query(SQL, timeout=30.0)
+            query_id = int(final["query_id"], 16)
+            # The originator tombstones synchronously with the final
+            # event; the co-hosted node hears via the leafset broadcast.
+            deadline = asyncio.get_event_loop().time() + 10.0
+            while True:
+                if all(
+                    node.is_cancelled(query_id)
+                    for node in host.nodes.values()
+                ):
+                    break
+                if asyncio.get_event_loop().time() > deadline:
+                    pytest.fail("cancel tombstone did not reach all nodes")
+                await asyncio.sleep(0.1)
+        finally:
+            await host.stop()
+
+    asyncio.run(main())
+
+
+def test_in_process_group_by_and_errors():
+    async def main():
+        spec = plan_cluster(num_hosts=1, nodes_per_host=2, seed=23)
+        host = NodeHost(spec, 0)
+        try:
+            await host.start()
+            await _wait_all_online([host])
+            async with ServeClient(
+                spec.hosts[0].host, spec.hosts[0].client_port
+            ) as client:
+                # A malformed query surfaces as an error event, and the
+                # connection stays usable for the next request.
+                from repro.serve.client import ServeError
+
+                with pytest.raises(ServeError):
+                    await client.query("SELEKT nonsense", timeout=5.0)
+
+                grouped_sql = (
+                    "SELECT COUNT(*) FROM Flow WHERE SrcPort = 80 GROUP BY App"
+                )
+                truth = spec.ground_truth(grouped_sql)
+                final = await client.query(grouped_sql, timeout=30.0)
+                assert final["rows"] == truth.row_count
+                expected = {
+                    "|".join(str(part) for part in key): values
+                    for key, values in truth.group_values().items()
+                }
+                assert final["groups"] == expected
+        finally:
+            await host.stop()
+
+    asyncio.run(main())
+
+
+def test_metrics_snapshot_includes_pool_gauges(tmp_path):
+    async def main():
+        spec = plan_cluster(num_hosts=2, nodes_per_host=1, seed=31)
+        out = tmp_path / "metrics.jsonl"
+        hosts = [
+            NodeHost(spec, 0, metrics_out=str(out)),
+            NodeHost(spec, 1),
+        ]
+        try:
+            for host in hosts:
+                await host.start()
+            await _wait_all_online(hosts)
+            hosts[0]._write_metrics()
+            series = [
+                json.loads(line)
+                for line in out.read_text().strip().splitlines()
+            ]
+            names = {record["name"] for record in series}
+            assert "serve.connections" in names
+            assert "serve.write_queue_depth" in names
+            assert "transport.messages_total" in names
+        finally:
+            for host in hosts:
+                await host.stop()
+
+    asyncio.run(main())
+
+
+# ----------------------------------------------------------------------
+# Real processes (python -m repro serve)
+# ----------------------------------------------------------------------
+
+
+def test_subprocess_cluster_end_to_end(tmp_path):
+    """Two real OS processes answer a streamed query exactly."""
+    from repro.serve import LocalCluster
+    from repro.serve.client import run_query
+
+    spec = plan_cluster(num_hosts=2, nodes_per_host=1, seed=5)
+    truth = spec.ground_truth(SQL)
+    with LocalCluster(spec, str(tmp_path / "cluster"), metrics=True) as cluster:
+        cluster.wait_ready(timeout=60.0, settle=3.0)
+        partials = []
+        final = run_query(
+            *cluster.client_address(1), SQL,
+            timeout=45.0, on_partial=partials.append,
+        )
+        assert final["rows"] == truth.row_count
+        assert final["values"] == truth.values()
+        completeness = [p["completeness"] for p in partials]
+        completeness.append(final["completeness"])
+        assert completeness == sorted(completeness)
+        metrics_text = cluster.metrics_path(0).read_text()
+        assert "serve.connections" in metrics_text
